@@ -1,0 +1,20 @@
+"""Regenerate the cuSZ-i design-choice ablation table (DESIGN.md §5)."""
+
+from conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, scale):
+    result = run_once(benchmark, ablations.run, scale=scale)
+    print()
+    print(result.format())
+    datasets = sorted({k[0] for k in result.cells})
+    for ds in datasets:
+        full_cr, full_psnr = result.cells[(ds, 1e-2, "full")]
+        # the de-redundancy pass is a pure win at loose bounds
+        huff_cr, _ = result.cells[(ds, 1e-2, "huffman-only")]
+        assert full_cr >= huff_cr
+        # dropping the window (the GPU-parallelism constraint) can only
+        # help prediction accuracy -> at least comparable ratio
+        nowin_cr, _ = result.cells[(ds, 1e-2, "no-window")]
+        assert nowin_cr >= full_cr * 0.85

@@ -1,0 +1,18 @@
+"""Regenerate Fig. 5 (nonzero quant-code counts per predictor)."""
+
+from conftest import run_once
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, scale):
+    result = run_once(benchmark, fig5.run, scale=scale)
+    print()
+    print(result.format())
+    stats = {(eb, pred): s for eb, pred, s in result.rows}
+    for eb in (1e-2, 1e-3):
+        ginterp = stats[(eb, "ginterp")]["nonzero"]
+        lorenzo = stats[(eb, "lorenzo")]["nonzero"]
+        sz3 = stats[(eb, "sz3")]["nonzero"]
+        # paper: G-Interp far below Lorenzo, close to CPU SZ3
+        assert ginterp < lorenzo / 3
+        assert ginterp < 3 * max(sz3, 1)

@@ -1,0 +1,17 @@
+"""Regenerate Fig. 6 (PSNR across RTM snapshots, interp vs Lorenzo)."""
+
+from conftest import run_once
+from repro.experiments import fig6
+
+
+def test_fig6(benchmark, scale):
+    result = run_once(benchmark, fig6.run, scale=scale)
+    print()
+    print(result.format())
+    for eb in (1e-3, 1e-4):
+        gi = dict(result.series[(eb, "cuszi")])
+        lo = dict(result.series[(eb, "cusz")])
+        gains = [gi[s] - lo[s] for s in gi]
+        # paper: constant PSNR advantage over GPU-Lorenzo on every snapshot
+        assert min(gains) > 0
+        assert max(gains) < 15  # of the same order as the paper's 2.5-10 dB

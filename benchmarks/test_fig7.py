@@ -1,0 +1,40 @@
+"""Regenerate Fig. 7a/7b (rate-distortion curves and the GLE shift)."""
+
+import numpy as np
+
+from conftest import run_once
+from repro.experiments import fig7
+
+
+def _auc_advantage(curves, ds, a, b, lossless="gle"):
+    """PSNR advantage of codec a over b at their overlapping bit rates.
+
+    When the curves do not overlap, whoever occupies the lower-bit-rate
+    band wins outright (the other cannot even reach that regime).
+    """
+    pa = sorted(curves[(ds, a, lossless)])
+    pb = sorted(curves[(ds, b, lossless)])
+    lo = max(pa[0][0], pb[0][0])
+    hi = min(pa[-1][0], pb[-1][0])
+    if hi <= lo:
+        return 1e9 if pa[0][0] < pb[0][0] else -1e9
+    grid = np.linspace(lo, hi, 16)
+    fa = np.interp(grid, [p[0] for p in pa], [p[1] for p in pa])
+    fb = np.interp(grid, [p[0] for p in pb], [p[1] for p in pb])
+    return float((fa - fb).mean())
+
+
+def test_fig7(benchmark, scale):
+    result = run_once(benchmark, fig7.run, scale=scale)
+    print()
+    print(result.format())
+    datasets = sorted({k[0] for k in result.curves})
+    # with the de-redundancy pass, cuSZ-i's rate-distortion beats every
+    # other GPU compressor on most datasets
+    for other in ("cusz", "cuszp", "cuszx", "fzgpu"):
+        wins = sum(_auc_advantage(result.curves, ds, "cuszi", other) > 0
+                   for ds in datasets)
+        assert wins >= len(datasets) - 1, other
+    # Fig. 7b: the shift is leftward (never negative beyond noise)
+    shifts = [s for *_ , s in result.shift_rows()]
+    assert min(shifts) > -0.02

@@ -1,0 +1,19 @@
+"""Regenerate Fig. 8 (decompression quality at aligned compression ratio)."""
+
+from conftest import run_once
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, scale):
+    result = run_once(benchmark, fig8.run, scale=scale)
+    print()
+    print(result.format())
+    for snap in {k[0] for k in result.cells}:
+        cells = {c: v for (s, c), v in result.cells.items() if s == snap}
+        best_other = max(v["psnr"] for c, v in cells.items()
+                         if c != "cuszi")
+        # paper: cuSZ-i has the best quality at the aligned CR, by a wide
+        # margin (8 dB on JHTDB, 40+ dB on S3D)
+        assert cells["cuszi"]["psnr"] > best_other + 3
+        assert cells["cuszi"]["ssim"] == max(v["ssim"]
+                                             for v in cells.values())

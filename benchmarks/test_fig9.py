@@ -1,0 +1,25 @@
+"""Regenerate Fig. 9 (modelled GPU throughputs on A100/A40)."""
+
+from conftest import run_once
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, scale):
+    result = run_once(benchmark, fig9.run, scale=scale)
+    print()
+    print(result.format())
+    for eb in (1e-2, 1e-3):
+        # §VII-C.4 ratio checks on the A100
+        comp_i = result.bars[("a100", eb, "cuszi", "none", "compress")]
+        comp_z = result.bars[("a100", eb, "cusz", "none", "compress")]
+        assert 0.4 <= comp_i / comp_z <= 0.75
+        dec_i = result.bars[("a100", eb, "cuszi", "none", "decompress")]
+        dec_z = result.bars[("a100", eb, "cusz", "none", "decompress")]
+        assert 0.7 <= dec_i / dec_z <= 0.95
+        # GLE overhead negligible
+        gle = result.bars[("a100", eb, "cuszi", "gle", "compress")]
+        assert gle >= comp_i * 0.9
+        # closer on the A40
+        a40_i = result.bars[("a40", eb, "cuszi", "none", "compress")]
+        a40_z = result.bars[("a40", eb, "cusz", "none", "compress")]
+        assert a40_i / a40_z > comp_i / comp_z

@@ -1,0 +1,99 @@
+"""Kernel microbenchmarks: per-stage throughput of the NumPy kernels.
+
+These time the actual Python implementation (not the GPU model) so the
+vectorization quality of each stage is visible: MB/s of uncompressed input
+processed per stage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lorenzo import (lorenzo_delta, lorenzo_prequantize,
+                                     lorenzo_reconstruct)
+from repro.common.quantizer import LinearQuantizer
+from repro.core.ginterp import InterpSpec, interp_compress, interp_decompress
+from repro.huffman import huffman_decode, huffman_encode
+from repro.lossless import gle_compress, gle_decompress
+from repro.registry import get_compressor
+
+
+@pytest.fixture(scope="module")
+def codes(bench_field):
+    eb = 1e-3 * float(bench_field.max() - bench_field.min())
+    spec = InterpSpec(anchor_stride=8, window_shape=(9, 9, 33))
+    return interp_compress(bench_field, spec, eb).codes
+
+
+class TestPredictorKernels:
+    def test_ginterp_predict(self, benchmark, bench_field):
+        eb = 1e-3 * float(bench_field.max() - bench_field.min())
+        spec = InterpSpec(anchor_stride=8, window_shape=(9, 9, 33))
+        benchmark(interp_compress, bench_field, spec, eb)
+
+    def test_ginterp_reconstruct(self, benchmark, bench_field):
+        eb = 1e-3 * float(bench_field.max() - bench_field.min())
+        spec = InterpSpec(anchor_stride=8, window_shape=(9, 9, 33))
+        res = interp_compress(bench_field, spec, eb)
+        benchmark(interp_decompress, bench_field.shape, spec, eb,
+                  res.codes, res.outliers, res.anchors)
+
+    def test_lorenzo_forward(self, benchmark, bench_field):
+        eb = 1e-3 * float(bench_field.max() - bench_field.min())
+        benchmark(lambda: lorenzo_delta(
+            lorenzo_prequantize(bench_field, eb)))
+
+    def test_lorenzo_scan(self, benchmark, bench_field):
+        eb = 1e-3 * float(bench_field.max() - bench_field.min())
+        delta = lorenzo_delta(lorenzo_prequantize(bench_field, eb))
+        benchmark(lorenzo_reconstruct, delta, eb)
+
+
+class TestEncodingKernels:
+    def test_huffman_encode(self, benchmark, codes):
+        benchmark(huffman_encode, codes, 1024)
+
+    def test_huffman_decode(self, benchmark, codes):
+        stream = huffman_encode(codes, 1024)
+        benchmark(huffman_decode, stream)
+
+    def test_gle_compress(self, benchmark, codes):
+        payload = huffman_encode(codes, 1024).to_bytes()
+        benchmark(gle_compress, payload)
+
+    def test_gle_decompress(self, benchmark, codes):
+        blob = gle_compress(huffman_encode(codes, 1024).to_bytes())
+        benchmark(gle_decompress, blob)
+
+    def test_quantizer(self, benchmark, bench_field):
+        q = LinearQuantizer(512)
+        flat = bench_field.astype(np.float64).ravel()
+        preds = np.roll(flat, 1)
+        benchmark(q.quantize, flat, preds, 1e-3)
+
+
+@pytest.mark.parametrize("codec", ["cuszi", "cusz", "cuszp", "cuszx",
+                                   "fzgpu"])
+class TestEndToEnd:
+    def test_compress(self, benchmark, bench_field, codec):
+        c = get_compressor(codec, eb=1e-3, mode="rel", lossless="gle")
+        blob = benchmark(c.compress, bench_field)
+        mbps = bench_field.nbytes / 1e6 / benchmark.stats["mean"]
+        benchmark.extra_info["input_MB_per_s"] = round(mbps, 1)
+        benchmark.extra_info["ratio"] = round(
+            bench_field.nbytes / len(blob), 2)
+
+    def test_decompress(self, benchmark, bench_field, codec):
+        c = get_compressor(codec, eb=1e-3, mode="rel", lossless="gle")
+        blob = c.compress(bench_field)
+        benchmark(c.decompress, blob)
+
+
+class TestCuZFPEndToEnd:
+    def test_compress(self, benchmark, bench_field):
+        c = get_compressor("cuzfp", rate=4.0)
+        benchmark(c.compress, bench_field)
+
+    def test_decompress(self, benchmark, bench_field):
+        c = get_compressor("cuzfp", rate=4.0)
+        blob = c.compress(bench_field)
+        benchmark(c.decompress, blob)

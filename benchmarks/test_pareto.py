@@ -1,0 +1,13 @@
+"""Regenerate the throughput-ratio Pareto analysis (§VII-C.4 claim)."""
+
+from conftest import run_once
+from repro.experiments import pareto
+
+
+def test_pareto(benchmark, scale):
+    result = run_once(benchmark, pareto.run, scale=scale)
+    print()
+    print(result.format())
+    for key, front in result.fronts.items():
+        # cuSZ-i must sit on the front (best-ratio corner)
+        assert "cuszi" in front, key

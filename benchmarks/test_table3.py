@@ -1,0 +1,17 @@
+"""Regenerate Table III (fixed-eb compression ratios, +/- de-redundancy)."""
+
+from conftest import run_once
+from repro.experiments import table3
+from repro.experiments.harness import EB_GRID
+
+
+def test_table3(benchmark, scale):
+    result = run_once(benchmark, table3.run, scale=scale)
+    print()
+    print(result.format())
+    # sanity: the paper's headline — with the de-redundancy pass, cuSZ-i
+    # has the best ratio in (nearly) all cells
+    datasets = sorted({k[0] for k in result.cells})
+    wins = sum(result.advantage(ds, eb, "gle") > 0
+               for ds in datasets for eb in EB_GRID)
+    assert wins >= len(datasets) * len(EB_GRID) * 0.7

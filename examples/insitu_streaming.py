@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""In-situ slab streaming: compress a snapshot while it is being produced.
+
+Simulations emit fields plane-by-plane; waiting for the full array doubles
+the memory footprint the compressor was supposed to save. This example
+feeds a combustion (S3D) field to :class:`repro.streaming.SlabWriter`
+eight planes at a time — as an in-situ adaptor would — then demonstrates
+random access: pulling one slab back out of the stream without touching
+the rest (a post-analysis reading one flame cross-section).
+
+Run:  python examples/insitu_streaming.py
+"""
+
+import numpy as np
+
+from repro.datasets import load_field
+from repro.streaming import SlabReader, SlabWriter
+
+
+def main() -> None:
+    field = load_field("s3d", "temperature")
+    value_range = float(field.max() - field.min())
+    print(f"producing s3d/temperature {field.shape} in 8-plane slabs")
+
+    writer = SlabWriter(codec="cuszi", eb=1e-3, mode="rel",
+                        value_range=value_range, lossless="gle")
+    produced = 0
+    for start in range(0, field.shape[0], 8):
+        slab = np.ascontiguousarray(field[start:start + 8])
+        nbytes = writer.append(slab)
+        produced += slab.nbytes
+        print(f"  slab {writer.n_slabs - 1:2d}: {slab.nbytes / 1e3:7.0f} kB"
+              f" -> {nbytes / 1e3:6.1f} kB")
+    stream = writer.finish()
+    print(f"stream: {produced / 1e6:.1f} MB -> {len(stream) / 1e6:.2f} MB "
+          f"(ratio {produced / len(stream):.1f}x)\n")
+
+    reader = SlabReader(stream)
+    mid = len(reader) // 2
+    slab = reader.read_slab(mid)
+    ref = field[mid * 8:mid * 8 + slab.shape[0]]
+    err = np.abs(slab.astype(np.float64) - ref.astype(np.float64)).max()
+    print(f"random access: slab {mid} of {len(reader)} decoded alone, "
+          f"max error {err:.3e} (bound {1e-3 * value_range:.3e})")
+    assert err <= 1e-3 * value_range * 1.000001
+
+    full = reader.read_all()
+    assert full.shape == field.shape
+    print("full reassembly matches the original shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: compress a scientific field with cuSZ-i and verify the bound.
+
+Generates a Miranda-style hydrodynamics density field, compresses it with
+the full cuSZ-i pipeline (G-Interp + Huffman + GLE de-redundancy) at a
+value-range-relative error bound of 1e-3, and checks the paper's core
+contract: every reconstructed sample is within the bound.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import compress, decompress, psnr
+from repro.datasets import load_field
+
+
+def main() -> None:
+    field = load_field("miranda", "density")
+    print(f"field: miranda/density {field.shape} {field.dtype} "
+          f"({field.nbytes / 1e6:.1f} MB)")
+
+    rel_eb = 1e-3
+    blob = compress(field, codec="cuszi", eb=rel_eb, mode="rel",
+                    lossless="gle")
+    ratio = field.nbytes / len(blob)
+    print(f"compressed: {len(blob) / 1e6:.2f} MB  "
+          f"(ratio {ratio:.1f}x, {8 * len(blob) / field.size:.2f} "
+          f"bits/value)")
+
+    recon = decompress(blob)
+    value_range = float(field.max() - field.min())
+    max_err = np.abs(recon - field).max()
+    print(f"max abs error: {max_err:.3e}  "
+          f"(bound {rel_eb * value_range:.3e})")
+    print(f"PSNR: {psnr(field, recon):.2f} dB")
+    assert max_err <= rel_eb * value_range * 1.000001
+    print("error bound holds on every sample.")
+
+
+if __name__ == "__main__":
+    main()

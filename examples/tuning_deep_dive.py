@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Inside G-Interp: what the profiling auto-tuner decides and why.
+
+Walks through the §V-C machinery on an anisotropic field: the Eq. 1 alpha
+schedule, per-axis cubic-spline selection, least-smooth-first axis
+ordering — then shows the effect of each knob on the final ratio by
+overriding it (the ablation workflow).
+
+Run:  python examples/tuning_deep_dive.py
+"""
+
+import numpy as np
+
+from repro.core.ginterp import autotune, alpha_from_eb
+from repro.core.ginterp.splines import SPLINE_NAMES
+from repro.core.pipeline import CuSZi
+from repro.datasets.synthetic import spectral_field
+
+
+def make_anisotropic_field() -> np.ndarray:
+    """Smooth along z, rough along x — like a layered geophysical model."""
+    base = spectral_field((96, 96, 96), slope=5.0, kmax_frac=0.2, seed=11)
+    ripple = 0.3 * np.sin(np.arange(96) * 2.2)
+    return (base + ripple[None, None, :]).astype(np.float32)
+
+
+def main() -> None:
+    field = make_anisotropic_field()
+    rng = float(field.max() - field.min())
+
+    print("== profiling kernel (paper §V-C) ==")
+    for rel_eb in (1e-2, 1e-3, 1e-4):
+        report = autotune(field, rel_eb * rng)
+        print(f"rel eb {rel_eb:.0e}: alpha={report.alpha:.3f} "
+              f"(Eq.1 gives {alpha_from_eb(rel_eb):.3f}), "
+              f"axis order {report.axis_order} "
+              f"(profiled errors "
+              f"{tuple(round(e, 1) for e in report.profiled_errors)}), "
+              f"cubics {[SPLINE_NAMES[v] for v in report.cubic_variant]}")
+
+    print("\n== what each design choice buys (CR at rel eb 1e-3) ==")
+    variants = {
+        "full pipeline": {},
+        "no level-wise eb (alpha=1)": {"alpha": 1.0},
+        "no auto-tuning": {"tune": False},
+        "no shared-window confinement": {"use_windows": False},
+        "Huffman only (no GLE)": {"lossless": "none"},
+    }
+    for label, overrides in variants.items():
+        kwargs = {"eb": 1e-3, "mode": "rel", "lossless": "gle", **overrides}
+        comp = CuSZi(**kwargs)
+        blob, stats = comp.compress_detailed(field)
+        print(f"{label:32s} CR={stats.ratio:6.2f} "
+              f"bits/val={stats.bit_rate:5.2f} "
+              f"nonzero codes={stats.nonzero_code_fraction * 100:5.1f}%")
+
+    print("\nNote the window-confinement row: the accuracy loss is the "
+          "price of chunk-parallel GPU execution (paper §V-A tradeoff).")
+
+
+if __name__ == "__main__":
+    main()

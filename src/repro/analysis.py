@@ -1,0 +1,146 @@
+"""Compression-error assessment toolkit.
+
+The SZ ecosystem ships an assessment tool (qcat) alongside the compressor:
+beyond PSNR, scientists check *how* the error is distributed — is it white
+(harmless to most post-analysis) or spatially/spectrally structured
+(biases derivatives and statistics)? This module provides those checks for
+any (original, reconstructed) pair:
+
+* :func:`error_statistics` — moments, percentiles, bound utilization;
+* :func:`error_histogram` — distribution of the pointwise error;
+* :func:`error_autocorrelation` — lag correlation per axis (structured
+  artifacts show up as slowly decaying correlation);
+* :func:`spectral_ratio` — reconstructed/original power per wavenumber
+  band (transform codecs damp high bands; quantizers add a white floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import DataError
+
+__all__ = ["ErrorStats", "error_statistics", "error_histogram",
+           "error_autocorrelation", "spectral_ratio"]
+
+
+@dataclass
+class ErrorStats:
+    """Summary statistics of a pointwise compression error field."""
+
+    max_abs: float
+    mean: float                # signed bias
+    rmse: float
+    p50: float                 # |error| percentiles
+    p99: float
+    bound_utilization: float   # max|err| / eb (1.0 = bound is tight)
+    zero_fraction: float       # fraction of exactly preserved samples
+
+    def format(self) -> str:
+        return (f"max|e|={self.max_abs:.3e}  bias={self.mean:+.3e}  "
+                f"rmse={self.rmse:.3e}  p50|e|={self.p50:.3e}  "
+                f"p99|e|={self.p99:.3e}  "
+                f"bound-use={self.bound_utilization * 100:.1f}%  "
+                f"exact={self.zero_fraction * 100:.1f}%")
+
+
+def _error(original: np.ndarray, reconstructed: np.ndarray) -> np.ndarray:
+    if original.shape != reconstructed.shape:
+        raise DataError(f"shape mismatch {original.shape} vs "
+                        f"{reconstructed.shape}")
+    return reconstructed.astype(np.float64) - original.astype(np.float64)
+
+
+def error_statistics(original: np.ndarray, reconstructed: np.ndarray,
+                     abs_eb: float | None = None) -> ErrorStats:
+    """Compute :class:`ErrorStats` for a reconstruction."""
+    err = _error(original, reconstructed)
+    abs_err = np.abs(err)
+    max_abs = float(abs_err.max())
+    return ErrorStats(
+        max_abs=max_abs,
+        mean=float(err.mean()),
+        rmse=float(np.sqrt((err * err).mean())),
+        p50=float(np.percentile(abs_err, 50)),
+        p99=float(np.percentile(abs_err, 99)),
+        bound_utilization=(max_abs / abs_eb) if abs_eb else float("nan"),
+        zero_fraction=float((err == 0).mean()),
+    )
+
+
+def error_histogram(original: np.ndarray, reconstructed: np.ndarray,
+                    bins: int = 64,
+                    abs_eb: float | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of the signed error over ``[-eb, +eb]`` (or data range).
+
+    Returns ``(counts, bin_edges)``. Error-bounded quantizers produce a
+    near-uniform histogram inside the bound; prediction-dominated regimes
+    concentrate near zero.
+    """
+    err = _error(original, reconstructed)
+    lim = abs_eb if abs_eb else float(np.abs(err).max()) or 1.0
+    return np.histogram(err, bins=bins, range=(-lim, lim))
+
+
+def error_autocorrelation(original: np.ndarray, reconstructed: np.ndarray,
+                          max_lag: int = 8) -> np.ndarray:
+    """Per-axis lag autocorrelation of the error field.
+
+    Returns an ``(ndim, max_lag + 1)`` array; row ``ax``, column ``k`` is
+    the correlation of the error with itself shifted ``k`` samples along
+    axis ``ax`` (lag 0 == 1). White quantization noise decays immediately;
+    values staying high reveal structured (visible) artifacts.
+    """
+    err = _error(original, reconstructed)
+    for ax, n in enumerate(err.shape):
+        if n <= max_lag:
+            raise DataError(f"axis {ax} shorter than max_lag={max_lag}")
+    err = err - err.mean()
+    denom = float((err * err).mean())
+    out = np.ones((err.ndim, max_lag + 1))
+    if denom == 0:
+        return out
+    for ax in range(err.ndim):
+        n = err.shape[ax]
+        for lag in range(1, max_lag + 1):
+            a = np.take(err, np.arange(0, n - lag), axis=ax)
+            b = np.take(err, np.arange(lag, n), axis=ax)
+            out[ax, lag] = float((a * b).mean() / denom)
+    return out
+
+
+def spectral_ratio(original: np.ndarray, reconstructed: np.ndarray,
+                   n_bands: int = 16) -> np.ndarray:
+    """Reconstructed-to-original power ratio per isotropic frequency band.
+
+    Returns ``n_bands`` ratios from the lowest to the highest wavenumber
+    band (1.0 = spectrum preserved). Fixed-rate transform codecs show
+    decaying tails; error-bounded predictors show a rising tail where the
+    quantization noise floor exceeds the (tiny) original power.
+    """
+    a = np.fft.rfftn(original.astype(np.float64))
+    b = np.fft.rfftn(reconstructed.astype(np.float64))
+    shape = original.shape
+    kgrids = []
+    for ax, n in enumerate(shape):
+        if ax == len(shape) - 1:
+            k = np.fft.rfftfreq(n)
+        else:
+            k = np.fft.fftfreq(n)
+        view = [1] * len(shape)
+        view[ax] = k.size
+        kgrids.append((k * 2).reshape(view))  # normalized to Nyquist=1
+    kk = np.sqrt(sum(k ** 2 for k in kgrids))
+    edges = np.linspace(0, float(kk.max()) + 1e-12, n_bands + 1)
+    which = np.clip(np.searchsorted(edges, kk.ravel(), side="right") - 1,
+                    0, n_bands - 1)
+    pa = np.bincount(which, weights=np.abs(a.ravel()) ** 2,
+                     minlength=n_bands)
+    pb = np.bincount(which, weights=np.abs(b.ravel()) ** 2,
+                     minlength=n_bands)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(pa > 0, pb / pa, 1.0)
+    return ratio

@@ -1,0 +1,94 @@
+"""Multi-field archives.
+
+Scientific snapshots are bundles of fields (Table II's datasets are 1-37
+files each); this module packs many compressed fields into one
+self-describing archive blob, each field independently decodable with its
+own codec/settings — the unit the distributed-transfer case study ships.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.container import build_container, parse_container
+from repro.common.errors import ConfigError, ContainerError
+from repro.registry import decompress_any, get_compressor
+
+__all__ = ["save_archive", "load_archive", "archive_info",
+           "write_archive", "read_archive"]
+
+_ARCHIVE_CODEC = "field-archive"
+
+
+def save_archive(fields: dict[str, np.ndarray], codec: str = "cuszi",
+                 per_field: dict[str, dict] | None = None,
+                 **kwargs) -> bytes:
+    """Compress a named set of fields into one archive blob.
+
+    ``kwargs`` configure the codec for every field; ``per_field`` maps a
+    field name to overrides (including ``"codec"``), e.g. compress a
+    rough field with a different bound than the rest.
+    """
+    if not fields:
+        raise ConfigError("archive needs at least one field")
+    per_field = per_field or {}
+    segments: dict[str, bytes] = {}
+    meta_fields = {}
+    for name, data in fields.items():
+        overrides = dict(per_field.get(name, {}))
+        field_codec = overrides.pop("codec", codec)
+        comp = get_compressor(field_codec, **{**kwargs, **overrides})
+        blob = comp.compress(data)
+        segments[name] = blob
+        meta_fields[name] = {
+            "codec": field_codec,
+            "shape": list(data.shape),
+            "dtype": data.dtype.name,
+            "raw_nbytes": int(data.nbytes),
+            "compressed_nbytes": len(blob),
+        }
+    return build_container(_ARCHIVE_CODEC, {"fields": meta_fields},
+                           segments)
+
+
+def load_archive(blob: bytes,
+                 fields: list[str] | None = None) -> dict[str, np.ndarray]:
+    """Decompress (a subset of) an archive back into named arrays."""
+    codec, meta, segments = parse_container(blob)
+    if codec != _ARCHIVE_CODEC:
+        raise ContainerError(f"not a field archive (codec {codec!r})")
+    wanted = fields if fields is not None else list(segments)
+    out = {}
+    for name in wanted:
+        if name not in segments:
+            raise ConfigError(f"archive has no field {name!r}; "
+                              f"contains {sorted(segments)}")
+        out[name] = decompress_any(segments[name])
+    return out
+
+
+def archive_info(blob: bytes) -> dict:
+    """Per-field metadata (codec, shape, sizes) without decompressing."""
+    codec, meta, segments = parse_container(blob)
+    if codec != _ARCHIVE_CODEC:
+        raise ContainerError(f"not a field archive (codec {codec!r})")
+    info = dict(meta["fields"])
+    total_raw = sum(f["raw_nbytes"] for f in info.values())
+    total_comp = sum(f["compressed_nbytes"] for f in info.values())
+    return {"fields": info, "total_raw_nbytes": total_raw,
+            "total_compressed_nbytes": total_comp,
+            "ratio": total_raw / total_comp}
+
+
+def write_archive(path: str, fields: dict[str, np.ndarray],
+                  codec: str = "cuszi", **kwargs) -> None:
+    """Save an archive to disk."""
+    with open(path, "wb") as f:
+        f.write(save_archive(fields, codec=codec, **kwargs))
+
+
+def read_archive(path: str,
+                 fields: list[str] | None = None) -> dict[str, np.ndarray]:
+    """Load (a subset of) an archive from disk."""
+    with open(path, "rb") as f:
+        return load_archive(f.read(), fields)

@@ -1,0 +1,42 @@
+"""Baseline compressors evaluated against cuSZ-i in the paper (§VII-A).
+
+GPU baselines (algorithmically faithful NumPy transcriptions):
+
+* :mod:`repro.baselines.cusz`   — cuSZ: dual-quant Lorenzo + chunked Huffman
+* :mod:`repro.baselines.cuszp`  — cuSZp: fused 1D block Lorenzo + per-block
+  fixed-length encoding
+* :mod:`repro.baselines.cuszx`  — cuSZx: constant/nonconstant block splitting
+* :mod:`repro.baselines.fzgpu`  — FZ-GPU: Lorenzo + bitshuffle + zero-block
+  dedup
+* :mod:`repro.baselines.cuzfp`  — cuZFP: fixed-rate transform coding
+
+CPU references (share the interpolation engine with G-Interp):
+
+* :mod:`repro.baselines.sz3` — SZ3-style global multilevel interpolation
+* :mod:`repro.baselines.qoz` — QoZ-style anchored/tuned interpolation
+"""
+
+from repro.baselines.lorenzo import (lorenzo_prequantize, lorenzo_delta,
+                                     lorenzo_reconstruct)
+from repro.baselines.cusz import CuSZ
+from repro.baselines.cuszp import CuSZp
+from repro.baselines.cuszx import CuSZx
+from repro.baselines.fzgpu import FZGPU
+from repro.baselines.cuzfp import CuZFP
+from repro.baselines.sz3 import SZ3
+from repro.baselines.sz14 import SZ14
+from repro.baselines.qoz import QoZ
+
+__all__ = [
+    "lorenzo_prequantize",
+    "lorenzo_delta",
+    "lorenzo_reconstruct",
+    "CuSZ",
+    "CuSZp",
+    "CuSZx",
+    "FZGPU",
+    "CuZFP",
+    "SZ3",
+    "SZ14",
+    "QoZ",
+]

@@ -1,0 +1,14 @@
+"""cuZFP baseline: fixed-rate transform coding (paper §II, ref [21, 23]).
+
+ZFP partitions the field into 4^d blocks and spends an identical bit budget
+on each: block-floating-point fixed-point conversion, a separable integer
+lifting transform, total-sequency coefficient reordering, negabinary
+mapping, and embedded bit-plane coding truncated at the rate. cuZFP is the
+CUDA port; like it, this implementation only offers the fixed-*rate* mode
+(hence the N/A rows for absolute error bounds in Table III).
+"""
+
+from repro.baselines.cuzfp.transform import fwd_lift, inv_lift, sequency_order
+from repro.baselines.cuzfp.codec import CuZFP
+
+__all__ = ["CuZFP", "fwd_lift", "inv_lift", "sequency_order"]

@@ -1,0 +1,35 @@
+"""QoZ CPU reference: anchored, level-tuned interpolation (paper ref [7]).
+
+QoZ extends SZ3 with exactly the two ideas G-Interp then ports to the GPU:
+losslessly stored anchor points (spacing 64 here) and level-wise
+error-bound reduction (alpha from the same Eq. 1 family, capped by beta).
+It remains the rate-distortion upper reference in Fig. 7a: larger
+interpolation blocks than G-Interp's 8^3 chunks and a stronger
+de-redundancy stage (Zstd role, zlib stand-in).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interp_cpu import InterpCPUBase, pow2ceil
+from repro.core.ginterp.autotune import alpha_from_eb
+from repro.registry import register
+
+__all__ = ["QoZ"]
+
+#: QoZ's default anchor spacing
+ANCHOR_STRIDE = 64
+#: QoZ's error-bound reduction cap
+BETA = 4.0
+
+
+@register
+class QoZ(InterpCPUBase):
+    """The QoZ-style CPU interpolation compressor."""
+
+    name = "qoz"
+
+    def _anchor_stride(self, shape: tuple[int, ...]) -> int:
+        return min(ANCHOR_STRIDE, pow2ceil(max(shape)))
+
+    def _level_params(self, rel_eb: float) -> tuple[float, float]:
+        return alpha_from_eb(rel_eb), BETA

@@ -1,0 +1,31 @@
+"""SZ3 CPU reference: global dynamic-spline multilevel interpolation
+(paper refs [4, 6]; the CPU benchmark of Figs. 5-6).
+
+SZ3 interpolates the whole array from a single seed corner — anchor
+spacing spans the largest axis, so every level of the pyramid exists and
+no anchors beyond the corner are stored. No level-wise error-bound
+reduction (that is QoZ's addition); spline and axis-order tuning follow
+the dynamic selection of the SZ3 paper. The archive gets the Zstd-role
+(zlib) pass.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.interp_cpu import InterpCPUBase, pow2ceil
+from repro.registry import register
+
+__all__ = ["SZ3"]
+
+
+@register
+class SZ3(InterpCPUBase):
+    """The SZ3-style CPU interpolation compressor."""
+
+    name = "sz3"
+
+    def _anchor_stride(self, shape: tuple[int, ...]) -> int:
+        return pow2ceil(max(shape))
+
+    def _level_params(self, rel_eb: float) -> tuple[float, float]:
+        # uniform error bound across levels
+        return 1.0, float("inf")

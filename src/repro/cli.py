@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+``repro compress``/``decompress`` operate on raw binary float dumps (the
+SDRBench convention: little-endian float32, C order, dims given on the
+command line), ``repro info`` inspects an archive, ``repro gen`` writes a
+synthetic dataset field, and ``repro bench`` forwards to the experiment
+runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import compress as api_compress
+from repro import decompress as api_decompress
+from repro.common.container import parse_container
+from repro.common.lossless_wrap import unwrap_lossless
+from repro.common.metrics import compression_ratio
+from repro.datasets import get_dataset, dataset_names
+from repro.registry import available
+
+
+def _parse_dims(text: str) -> tuple[int, ...]:
+    dims = tuple(int(x) for x in text.split(","))
+    if not dims or any(d < 1 for d in dims):
+        raise argparse.ArgumentTypeError(f"bad dims {text!r}")
+    return dims
+
+
+def _cmd_compress(args) -> int:
+    data = np.fromfile(args.input, dtype=np.float32)
+    n = int(np.prod(args.dims))
+    if data.size != n:
+        print(f"error: file has {data.size} float32 values, dims give {n}",
+              file=sys.stderr)
+        return 1
+    data = data.reshape(args.dims)
+    kwargs = {}
+    if args.codec == "cuzfp":
+        kwargs["rate"] = args.rate
+    else:
+        kwargs.update(eb=args.eb, mode=args.mode)
+    kwargs["lossless"] = args.lossless
+    blob = api_compress(data, codec=args.codec, **kwargs)
+    with open(args.output, "wb") as f:
+        f.write(blob)
+    print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
+          f"(CR {compression_ratio(data.nbytes, len(blob)):.2f})")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as f:
+        blob = f.read()
+    out = api_decompress(blob)
+    out.astype(np.float32).tofile(args.output)
+    print(f"{args.input}: reconstructed {out.shape} {out.dtype} "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    with open(args.input, "rb") as f:
+        blob = f.read()
+    inner = unwrap_lossless(blob)
+    codec, meta, segments = parse_container(inner)
+    print(f"codec:    {codec}")
+    for key, val in meta.items():
+        print(f"{key}: {val}")
+    print("segments:")
+    for name, seg in segments.items():
+        print(f"  {name}: {len(seg)} bytes")
+    return 0
+
+
+def _cmd_gen(args) -> int:
+    info = get_dataset(args.dataset)
+    data = info.load(args.field)
+    data.tofile(args.output)
+    print(f"wrote {args.dataset}/{args.field} {data.shape} float32 "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    info = get_dataset(args.dataset)
+    fields = {fld: info.load(fld) for fld in info.fields}
+    from repro.archive import write_archive
+    write_archive(args.output, fields, codec=args.codec, eb=args.eb,
+                  mode=args.mode, lossless=args.lossless)
+    from repro.archive import read_archive  # noqa: F401  (symmetry)
+    import os
+    raw = sum(d.nbytes for d in fields.values())
+    comp = os.path.getsize(args.output)
+    print(f"packed {len(fields)} fields of {args.dataset}: "
+          f"{raw / 1e6:.1f} MB -> {comp / 1e6:.2f} MB "
+          f"(CR {raw / comp:.1f})")
+    return 0
+
+
+def _cmd_unpack(args) -> int:
+    from repro.archive import read_archive
+    fields = read_archive(args.input,
+                          fields=args.fields.split(",") if args.fields
+                          else None)
+    for name, data in fields.items():
+        path = f"{args.prefix}{name}.f32"
+        data.astype(np.float32).tofile(path)
+        print(f"{name}: {data.shape} -> {path}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    print("compressors:", ", ".join(available()))
+    print("datasets:")
+    for name in dataset_names():
+        info = get_dataset(name)
+        print(f"  {name} {info.default_shape}: {', '.join(info.fields)}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments.__main__ import main as exp_main
+    return exp_main([args.name, "--scale", args.scale])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="cuSZ-i reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a raw float32 dump")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--dims", type=_parse_dims, required=True,
+                   help="comma-separated C-order dims, e.g. 512,512,512")
+    p.add_argument("--codec", default="cuszi", choices=available())
+    p.add_argument("--eb", type=float, default=1e-3)
+    p.add_argument("--mode", choices=("rel", "abs"), default="rel")
+    p.add_argument("--rate", type=float, default=4.0,
+                   help="bits/value for cuzfp")
+    p.add_argument("--lossless", default="gle",
+                   choices=("none", "gle", "zlib"))
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress an archive")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("info", help="inspect an archive header")
+    p.add_argument("input")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("gen", help="generate a synthetic dataset field")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("field")
+    p.add_argument("output")
+    p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser("pack", help="compress a whole synthetic dataset "
+                                    "into one archive")
+    p.add_argument("dataset", choices=dataset_names())
+    p.add_argument("output")
+    p.add_argument("--codec", default="cuszi", choices=available())
+    p.add_argument("--eb", type=float, default=1e-3)
+    p.add_argument("--mode", choices=("rel", "abs"), default="rel")
+    p.add_argument("--lossless", default="gle",
+                   choices=("none", "gle", "zlib"))
+    p.set_defaults(func=_cmd_pack)
+
+    p = sub.add_parser("unpack", help="extract fields from an archive")
+    p.add_argument("input")
+    p.add_argument("--prefix", default="",
+                   help="output filename prefix")
+    p.add_argument("--fields", default="",
+                   help="comma-separated subset (default: all)")
+    p.set_defaults(func=_cmd_unpack)
+
+    p = sub.add_parser("list", help="list codecs and datasets")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("bench", help="run a paper experiment")
+    p.add_argument("name")
+    p.add_argument("--scale", choices=("small", "full"), default="small")
+    p.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

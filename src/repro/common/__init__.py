@@ -1,0 +1,33 @@
+"""Shared substrate: array utilities, quantization, metrics, bit packing,
+and the on-disk container format used by every compressor in this
+reproduction.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    ContainerError,
+    CodecError,
+    ConfigError,
+)
+from repro.common.metrics import (
+    psnr,
+    nrmse,
+    max_abs_error,
+    compression_ratio,
+    bit_rate,
+)
+from repro.common.quantizer import LinearQuantizer, QuantResult
+
+__all__ = [
+    "ReproError",
+    "ContainerError",
+    "CodecError",
+    "ConfigError",
+    "psnr",
+    "nrmse",
+    "max_abs_error",
+    "compression_ratio",
+    "bit_rate",
+    "LinearQuantizer",
+    "QuantResult",
+]

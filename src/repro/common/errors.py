@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A compressor / experiment was configured with invalid parameters."""
+
+
+class CodecError(ReproError):
+    """An encode or decode stage failed or produced inconsistent state."""
+
+
+class ContainerError(ReproError):
+    """A serialized container blob is malformed or version-incompatible."""
+
+
+class DataError(ReproError):
+    """Input data is unusable (wrong dtype/shape, non-finite, empty...)."""

@@ -1,0 +1,50 @@
+"""Outer de-redundancy framing (paper §VI-B).
+
+The paper applies Bitcomp-lossless to the *entire* compressed archive (and,
+for fairness in Table III, to every baseline's output too). This module
+provides that outer pass: a tiny frame recording which lossless codec
+wrapped the container, so any blob remains self-describing.
+
+Frame layout: ``b"RPW1" | u8 codec-name length | codec name | payload``.
+A frame with codec ``none`` keeps the payload verbatim, so the wrap is
+uniform across pipeline variants.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.common.container import parse_container
+from repro.common.errors import ContainerError
+from repro.lossless import get_lossless
+
+__all__ = ["wrap_lossless", "unwrap_lossless", "peek_codec"]
+
+_MAGIC = b"RPW1"
+
+
+def wrap_lossless(container: bytes, lossless: str) -> bytes:
+    """Apply the named lossless pass over a container blob and frame it."""
+    codec = get_lossless(lossless)
+    payload = codec.compress_bytes(container)
+    name = codec.name.encode("utf-8")
+    return _MAGIC + struct.pack("<B", len(name)) + name + payload
+
+
+def unwrap_lossless(blob: bytes) -> bytes:
+    """Undo :func:`wrap_lossless`, returning the inner container bytes."""
+    if len(blob) < 5 or blob[:4] != _MAGIC:
+        raise ContainerError("missing lossless wrap frame")
+    nlen = blob[4]
+    if len(blob) < 5 + nlen:
+        raise ContainerError("truncated lossless wrap frame")
+    name = blob[5:5 + nlen].decode("utf-8")
+    codec = get_lossless(name)
+    return codec.decompress_bytes(blob[5 + nlen:])
+
+
+def peek_codec(blob: bytes) -> str:
+    """Read the inner container's codec name without full decode."""
+    inner = unwrap_lossless(blob)
+    codec, _meta, _segs = parse_container(inner)
+    return codec

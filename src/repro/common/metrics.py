@@ -1,0 +1,126 @@
+"""Quality and ratio metrics used throughout the evaluation (paper §VII-B).
+
+All metrics follow the SDRBench / SZ conventions:
+
+* PSNR is computed against the *value range* of the original field,
+  ``psnr = 20 log10(range) - 10 log10(mse)``.
+* Bit rate is bits per element of the compressed representation; for
+  float32 inputs this equals ``32 / CR`` as the paper notes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import DataError
+
+__all__ = [
+    "psnr",
+    "nrmse",
+    "max_abs_error",
+    "mse",
+    "compression_ratio",
+    "bit_rate",
+    "ssim_3d",
+]
+
+
+def _check_pair(original: np.ndarray, reconstructed: np.ndarray) -> None:
+    if original.shape != reconstructed.shape:
+        raise DataError(
+            f"shape mismatch: {original.shape} vs {reconstructed.shape}")
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between the original and reconstructed fields."""
+    _check_pair(original, reconstructed)
+    diff = original.astype(np.float64) - reconstructed.astype(np.float64)
+    return float(np.mean(diff * diff))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Value-range PSNR in dB. Returns ``inf`` for a lossless match."""
+    err = mse(original, reconstructed)
+    rng = float(original.max() - original.min())
+    if err == 0.0:
+        return math.inf
+    if rng == 0.0:
+        # constant field: any nonzero error is infinitely bad in range terms
+        return -math.inf
+    return 20.0 * math.log10(rng) - 10.0 * math.log10(err)
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error normalized by the original value range."""
+    rng = float(original.max() - original.min())
+    root = math.sqrt(mse(original, reconstructed))
+    if rng == 0.0:
+        return 0.0 if root == 0.0 else math.inf
+    return root / rng
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Maximum point-wise absolute error (the error-bound contract)."""
+    _check_pair(original, reconstructed)
+    diff = original.astype(np.float64) - reconstructed.astype(np.float64)
+    return float(np.max(np.abs(diff)))
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """CR = original size / compressed size (paper §VII-B)."""
+    if compressed_nbytes <= 0:
+        raise DataError("compressed size must be positive")
+    return original_nbytes / compressed_nbytes
+
+
+def bit_rate(n_elements: int, compressed_nbytes: int) -> float:
+    """Average bits per input element in the compressed stream."""
+    if n_elements <= 0:
+        raise DataError("element count must be positive")
+    return 8.0 * compressed_nbytes / n_elements
+
+
+def ssim_3d(original: np.ndarray, reconstructed: np.ndarray,
+            window: int = 7) -> float:
+    """Mean local SSIM over non-overlapping windows (visual-quality proxy
+    for the paper's Fig. 8 case study).
+
+    A lightweight implementation: fields are tiled into ``window``-sized
+    non-overlapping boxes and the standard SSIM statistic is averaged over
+    boxes. Uses the original field's value range as the dynamic range.
+    """
+    _check_pair(original, reconstructed)
+    a = original.astype(np.float64)
+    b = reconstructed.astype(np.float64)
+    rng = float(a.max() - a.min())
+    if rng == 0.0:
+        return 1.0 if np.array_equal(a, b) else 0.0
+    c1 = (0.01 * rng) ** 2
+    c2 = (0.03 * rng) ** 2
+
+    # trim so each axis divides evenly, then view as blocks
+    slices = tuple(slice(0, (n // window) * window) for n in a.shape)
+    a = a[slices]
+    b = b[slices]
+    if a.size == 0:
+        raise DataError(f"field smaller than SSIM window {window}")
+    new_shape: list[int] = []
+    for n in a.shape:
+        new_shape.extend((n // window, window))
+    order = list(range(0, 2 * a.ndim, 2)) + list(range(1, 2 * a.ndim, 2))
+    ab = a.reshape(new_shape).transpose(order)
+    bb = b.reshape(new_shape).transpose(order)
+    nblk = int(np.prod(ab.shape[:a.ndim]))
+    ab = ab.reshape(nblk, -1)
+    bb = bb.reshape(nblk, -1)
+
+    mu_a = ab.mean(axis=1)
+    mu_b = bb.mean(axis=1)
+    var_a = ab.var(axis=1)
+    var_b = bb.var(axis=1)
+    cov = ((ab - mu_a[:, None]) * (bb - mu_b[:, None])).mean(axis=1)
+    ssim = ((2 * mu_a * mu_b + c1) * (2 * cov + c2) /
+            ((mu_a ** 2 + mu_b ** 2 + c1) * (var_a + var_b + c2)))
+    return float(ssim.mean())

@@ -1,0 +1,135 @@
+"""Error-bounded linear quantization with outlier compaction (paper §III-A).
+
+Every prediction-based compressor in this reproduction shares the same
+quantization contract:
+
+* ``q = round((value - prediction) / (2 * eb))`` maps the prediction error
+  onto integer bins of width ``2*eb``;
+* the reconstruction ``prediction + 2*eb*q`` is then within ``eb`` of the
+  original value;
+* codes with ``|q| >= radius`` (or that fail the bound after float32
+  rounding) are *outliers*: they get the reserved code ``0`` and their exact
+  float32 value is stream-compacted into a side channel (§VI-A), matching
+  cuSZ's outlier design. Regular codes are stored as ``q + radius`` so the
+  full code alphabet is ``[0, 2*radius)``.
+
+Compressor and decompressor both run the arithmetic in float64, in the same
+order, so reconstructions replay bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+
+__all__ = ["LinearQuantizer", "QuantResult", "DEFAULT_RADIUS"]
+
+DEFAULT_RADIUS = 512
+
+
+@dataclass
+class QuantResult:
+    """Outcome of quantizing one prediction pass.
+
+    Attributes
+    ----------
+    codes:
+        uint32 array, same length as the pass, values in ``[0, 2*radius)``;
+        code 0 marks an outlier.
+    reconstructed:
+        float64 array the decompressor will reproduce exactly.
+    outlier_values:
+        float32 array of the original values at outlier positions, in pass
+        order (stream compaction).
+    """
+
+    codes: np.ndarray
+    reconstructed: np.ndarray
+    outlier_values: np.ndarray
+
+    @property
+    def n_outliers(self) -> int:
+        return int(self.outlier_values.size)
+
+
+class LinearQuantizer:
+    """Linear error-bounded quantizer with a symmetric code radius.
+
+    ``value_dtype`` is the dtype the reconstruction will finally be emitted
+    in (float32 for the paper's datasets): the error bound is checked after
+    rounding to that dtype, and outliers are stored in it, so the bound
+    holds on the actual decompressor output.
+    """
+
+    def __init__(self, radius: int = DEFAULT_RADIUS,
+                 value_dtype: np.dtype = np.float32):
+        if radius < 2:
+            raise ConfigError(f"radius must be >= 2, got {radius}")
+        self.radius = int(radius)
+        self.value_dtype = np.dtype(value_dtype)
+        if self.value_dtype not in (np.float32, np.float64):
+            raise ConfigError(f"unsupported value dtype {value_dtype}")
+
+    @property
+    def n_codes(self) -> int:
+        """Size of the code alphabet (including the reserved outlier 0)."""
+        return 2 * self.radius
+
+    def quantize(self, values: np.ndarray, predictions: np.ndarray,
+                 eb: float) -> QuantResult:
+        """Quantize prediction errors for one pass.
+
+        ``values`` are originals, ``predictions`` the same-shape predicted
+        values; ``eb`` the absolute error bound for this pass.
+        """
+        if eb <= 0:
+            raise ConfigError(f"error bound must be positive, got {eb}")
+        v = np.asarray(values, dtype=np.float64).ravel()
+        p = np.asarray(predictions, dtype=np.float64).ravel()
+        ebx2 = 2.0 * eb
+
+        q = np.rint((v - p) / ebx2)
+        recon = p + ebx2 * q
+        # Outlier when the code leaves the alphabet or the bound fails after
+        # rounding to the output dtype.
+        bad = np.abs(q) >= self.radius
+        bad |= np.abs(recon.astype(self.value_dtype).astype(np.float64)
+                      - v) > eb
+
+        outlier_values = v[bad].astype(self.value_dtype)
+        # Exact float32 round-trip on both sides: the decompressor reads the
+        # stored float32 and upcasts, so do the same here.
+        recon[bad] = outlier_values.astype(np.float64)
+
+        codes = np.zeros(v.size, dtype=np.uint32)
+        good = ~bad
+        codes[good] = (q[good] + self.radius).astype(np.uint32)
+        return QuantResult(codes=codes, reconstructed=recon,
+                           outlier_values=outlier_values)
+
+    def dequantize(self, codes: np.ndarray, predictions: np.ndarray,
+                   eb: float, outlier_values: np.ndarray,
+                   outlier_cursor: int) -> tuple[np.ndarray, int]:
+        """Invert :meth:`quantize` for one pass.
+
+        ``outlier_values`` is the full compacted outlier stream;
+        ``outlier_cursor`` the index of the next unconsumed outlier. Returns
+        the reconstructed float64 values and the advanced cursor.
+        """
+        if eb <= 0:
+            raise ConfigError(f"error bound must be positive, got {eb}")
+        codes = np.asarray(codes, dtype=np.int64).ravel()
+        p = np.asarray(predictions, dtype=np.float64).ravel()
+        ebx2 = 2.0 * eb
+
+        q = codes - self.radius
+        recon = p + ebx2 * q.astype(np.float64)
+        is_out = codes == 0
+        n_out = int(is_out.sum())
+        if n_out:
+            take = outlier_values[outlier_cursor:outlier_cursor + n_out]
+            recon[is_out] = take.astype(np.float64)
+        return recon, outlier_cursor + n_out

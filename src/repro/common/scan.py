@@ -1,0 +1,35 @@
+"""Scan/compact idioms shared by the vectorized codecs.
+
+These are the NumPy spellings of the GPU primitives the paper's kernels are
+built from: ``concat_ranges`` is the classic "exclusive scan to enumerate
+ragged segments" pattern (one ``arange`` per segment, concatenated) used by
+run-length decoding, decode-table expansion, and variable-length bit
+writing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["concat_ranges", "segment_offsets"]
+
+
+def concat_ranges(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for each count ``c``, in order.
+
+    ``concat_ranges([2, 0, 3]) == [0, 1, 0, 1, 2]``. Runs in O(total);
+    zero-length segments are skipped.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ids = np.repeat(np.arange(counts.size), counts)
+    starts = np.cumsum(counts) - counts
+    return np.arange(total, dtype=np.int64) - starts[ids]
+
+
+def segment_offsets(counts: np.ndarray) -> np.ndarray:
+    """Exclusive-scan segment start offsets, with the total appended."""
+    counts = np.asarray(counts, dtype=np.int64)
+    return np.concatenate(([0], np.cumsum(counts)))

@@ -1,0 +1,12 @@
+"""cuSZ-i core: the G-Interp predictor and the end-to-end pipeline."""
+
+__all__ = ["CuSZi"]
+
+
+def __getattr__(name):
+    # lazy import so the ginterp subpackage is usable while the pipeline
+    # module is under construction / to avoid import cycles
+    if name == "CuSZi":
+        from repro.core.pipeline import CuSZi
+        return CuSZi
+    raise AttributeError(name)

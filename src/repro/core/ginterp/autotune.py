@@ -1,0 +1,123 @@
+"""Profiling-based auto-tuning of G-Interp (paper §V-C).
+
+A lightweight profiling kernel decides three things before compression:
+
+1. **alpha** — the level-wise error-bound reduction factor, from the
+   piecewise-linear map of the value-range-relative error bound (Eq. 1);
+2. **per-axis cubic variant** — for each axis, sampled cubic interpolation
+   errors pick not-a-knot vs natural;
+3. **axis order** — axes are interpolated least-smooth-first (largest
+   profiled error first), so the smoothest axis absorbs the most
+   interpolations (§V-C.2, after [SZ3]).
+
+The chosen configuration travels in the stream header: decompression must
+replay the same traversal without access to the original data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.ginterp.splines import (CUBIC_NAK, CUBIC_NAT,
+                                        SPLINE_WEIGHTS)
+
+__all__ = ["alpha_from_eb", "profile_cubic_errors", "autotune",
+           "TuneReport"]
+
+#: sampled sub-grid extent per axis (paper: "e.g. a 4^3 sub-grid")
+PROFILE_SAMPLES = 4
+
+
+def alpha_from_eb(rel_eb: float) -> float:
+    """Eq. 1: piecewise-linear map from relative error bound to alpha."""
+    e = float(rel_eb)
+    if e >= 1e-1:
+        return 2.0
+    if e >= 1e-2:
+        return 1.75 + 0.25 * (e - 1e-2) / (1e-1 - 1e-2)
+    if e >= 1e-3:
+        return 1.5 + 0.25 * (e - 1e-3) / (1e-2 - 1e-3)
+    if e >= 1e-4:
+        return 1.25 + 0.25 * (e - 1e-4) / (1e-3 - 1e-4)
+    if e >= 1e-5:
+        return 1.0 + 0.25 * (e - 1e-5) / (1e-4 - 1e-5)
+    return 1.0
+
+
+@dataclass
+class TuneReport:
+    """Outcome of the profiling kernel."""
+
+    alpha: float
+    cubic_variant: tuple[int, ...]   # per-axis winning cubic class id
+    axis_order: tuple[int, ...]      # least-smooth-first
+    profiled_errors: tuple[float, ...]  # per-axis best-spline error sums
+    value_range: float
+
+
+def profile_cubic_errors(data: np.ndarray,
+                         samples: int = PROFILE_SAMPLES) -> np.ndarray:
+    """Accumulated |prediction error| per (axis, cubic variant).
+
+    Uniformly samples up to ``samples`` positions per axis (keeping 3
+    samples of margin so all four cubic neighbors exist) and evaluates both
+    cubic splines along every axis — ``2 * ndim`` tests per sampled point,
+    as in §V-C.1. Returns an ``(ndim, 2)`` array of error sums indexed by
+    (axis, {not-a-knot, natural}).
+    """
+    ndim = data.ndim
+    errors = np.zeros((ndim, 2), dtype=np.float64)
+    margin = 3
+    coords = []
+    for n in data.shape:
+        lo, hi = margin, n - 1 - margin
+        if hi < lo:  # axis too short to profile; sample its midpoint
+            coords.append(np.array([n // 2], dtype=np.int64))
+        else:
+            coords.append(np.unique(np.linspace(lo, hi, samples)
+                                    .astype(np.int64)))
+    grids = np.meshgrid(*coords, indexing="ij")
+    flat_pts = np.stack([g.ravel() for g in grids], axis=1)
+    values = data[tuple(flat_pts.T)].astype(np.float64)
+
+    weights_nak = SPLINE_WEIGHTS[CUBIC_NAK]
+    weights_nat = SPLINE_WEIGHTS[CUBIC_NAT]
+    offsets = np.array([-3, -1, 1, 3], dtype=np.int64)
+    for ax in range(ndim):
+        n = data.shape[ax]
+        pos = flat_pts[:, ax]
+        ok = (pos + 3 <= n - 1) & (pos - 3 >= 0)
+        if not np.any(ok):
+            continue
+        pts = flat_pts[ok]
+        vals = values[ok]
+        neigh = np.empty((pts.shape[0], 4), dtype=np.float64)
+        for j, off in enumerate(offsets):
+            moved = pts.copy()
+            moved[:, ax] = moved[:, ax] + off
+            neigh[:, j] = data[tuple(moved.T)]
+        errors[ax, 0] = np.abs(neigh @ weights_nak - vals).sum()
+        errors[ax, 1] = np.abs(neigh @ weights_nat - vals).sum()
+    return errors
+
+
+def autotune(data: np.ndarray, abs_eb: float,
+             samples: int = PROFILE_SAMPLES) -> TuneReport:
+    """Run the full §V-C profiling-and-auto-tuning kernel."""
+    rng = float(data.max() - data.min())
+    rel_eb = abs_eb / rng if rng > 0 else 1.0
+    alpha = alpha_from_eb(rel_eb)
+
+    errors = profile_cubic_errors(data, samples)
+    variants = tuple(CUBIC_NAK if errors[ax, 0] <= errors[ax, 1]
+                     else CUBIC_NAT for ax in range(data.ndim))
+    best = errors.min(axis=1)
+    # least smooth (largest error) first; ties resolved by axis index for
+    # determinism
+    order = tuple(int(ax) for ax in
+                  np.argsort(-best, kind="stable"))
+    return TuneReport(alpha=alpha, cubic_variant=variants, axis_order=order,
+                      profiled_errors=tuple(float(b) for b in best),
+                      value_range=rng)

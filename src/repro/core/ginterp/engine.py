@@ -1,0 +1,320 @@
+"""Anchored multi-level interpolation traversal (paper §V-A, §V-D).
+
+One engine drives both sides of the codec and all three interpolation-based
+compressors in this repository:
+
+* **G-Interp** (cuSZ-i): anchor stride 8 (3D), window-confined neighbor
+  availability matching the 33x9x9 shared thread-block layout of Fig. 2;
+* **SZ3 / QoZ CPU references**: global (unconfined) neighbor availability,
+  larger/whole-array anchor strides.
+
+The traversal is a flat list of *passes* — (level stride, axis) pairs — in
+which every target is predicted only from already-reconstructed samples, so
+each pass is a single set of vectorized gathers (the NumPy analogue of one
+fully parallel GPU kernel launch). Compression and decompression run the
+identical pass plan and identical float64 arithmetic; the only difference is
+whether quant-codes are produced or consumed, which guarantees bit-exact
+replay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.quantizer import LinearQuantizer
+from repro.core.ginterp.anchors import apply_anchors, extract_anchors
+from repro.core.ginterp.splines import (NEIGHBOR_OFFSETS, SPLINE_WEIGHTS,
+                                        CUBIC_NAK, classify)
+
+__all__ = ["InterpSpec", "PassDesc", "pass_plan", "level_error_bounds",
+           "interp_compress", "interp_decompress", "InterpResult"]
+
+
+@dataclass(frozen=True)
+class InterpSpec:
+    """Full configuration of one interpolation predictor.
+
+    Attributes
+    ----------
+    anchor_stride:
+        Power-of-two spacing of losslessly stored anchors; also fixes the
+        number of interpolation levels (``log2(anchor_stride)``).
+    window_shape:
+        Per-axis shared-window extents (G-Interp: ``(9, 9, 33)`` — window
+        length in samples, anchor-inclusive). ``None`` disables confinement
+        (the CPU-style global interpolation).
+    cubic_variant:
+        Per-axis cubic spline choice (CUBIC_NAK / CUBIC_NAT class ids),
+        normally from auto-tuning.
+    axis_order:
+        Order in which axes are interpolated inside each level; the paper
+        tunes this least-smooth-first.
+    alpha, beta:
+        Level-wise error-bound reduction: level ``l`` (stride ``2**(l-1)``)
+        uses ``eb / min(alpha**(l-1), beta)`` (§V-B.2; beta is the QoZ-style
+        cap, ``inf`` = uncapped).
+    """
+
+    anchor_stride: int = 8
+    window_shape: tuple[int, ...] | None = None
+    cubic_variant: tuple[int, ...] = ()
+    axis_order: tuple[int, ...] = ()
+    alpha: float = 1.0
+    beta: float = math.inf
+
+    def __post_init__(self):
+        s = self.anchor_stride
+        if s < 2 or (s & (s - 1)) != 0:
+            raise ConfigError(
+                f"anchor_stride must be a power of two >= 2, got {s}")
+        if self.alpha < 1.0:
+            raise ConfigError(f"alpha must be >= 1, got {self.alpha}")
+        if self.beta < 1.0:
+            raise ConfigError(f"beta must be >= 1, got {self.beta}")
+
+    @property
+    def n_levels(self) -> int:
+        return self.anchor_stride.bit_length() - 1
+
+    def resolved(self, ndim: int) -> "InterpSpec":
+        """Fill per-axis defaults for an ``ndim``-dimensional input."""
+        cubic = self.cubic_variant or tuple([CUBIC_NAK] * ndim)
+        order = self.axis_order or tuple(range(ndim))
+        if len(cubic) != ndim or len(order) != ndim:
+            raise ConfigError("per-axis spec lengths do not match ndim")
+        if sorted(order) != list(range(ndim)):
+            raise ConfigError(f"axis_order {order} is not a permutation")
+        if self.window_shape is not None:
+            if len(self.window_shape) != ndim:
+                raise ConfigError("window_shape rank mismatch")
+            for w in self.window_shape:
+                if w < 2:
+                    raise ConfigError("window extents must be >= 2")
+        return InterpSpec(anchor_stride=self.anchor_stride,
+                          window_shape=self.window_shape,
+                          cubic_variant=tuple(cubic),
+                          axis_order=tuple(order),
+                          alpha=self.alpha, beta=self.beta)
+
+    def to_meta(self) -> dict:
+        """JSON-serializable form for the container header."""
+        return {
+            "anchor_stride": self.anchor_stride,
+            "window_shape": list(self.window_shape)
+            if self.window_shape else None,
+            "cubic_variant": list(self.cubic_variant),
+            "axis_order": list(self.axis_order),
+            "alpha": self.alpha,
+            "beta": self.beta if math.isfinite(self.beta) else None,
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "InterpSpec":
+        return cls(anchor_stride=int(meta["anchor_stride"]),
+                   window_shape=tuple(meta["window_shape"])
+                   if meta.get("window_shape") else None,
+                   cubic_variant=tuple(meta["cubic_variant"]),
+                   axis_order=tuple(meta["axis_order"]),
+                   alpha=float(meta["alpha"]),
+                   beta=float(meta["beta"])
+                   if meta.get("beta") is not None else math.inf)
+
+
+@dataclass(frozen=True)
+class PassDesc:
+    """One interpolation pass: all targets at ``stride`` along ``axis``."""
+
+    level: int                 # 1-based; stride == 2**(level-1)
+    stride: int
+    axis: int
+    steps: tuple[int, ...]     # per-axis sampling step *entering* this pass
+
+
+def pass_plan(ndim: int, spec: InterpSpec) -> list[PassDesc]:
+    """The deterministic pass sequence for an ``ndim``-D input.
+
+    Levels run coarse to fine (stride ``anchor_stride/2`` down to 1); inside
+    each level axes run in ``spec.axis_order``. The per-axis step tuple
+    captures which samples are already known when the pass starts.
+    """
+    passes: list[PassDesc] = []
+    s = spec.anchor_stride // 2
+    while s >= 1:
+        steps = [2 * s] * ndim
+        for ax in spec.axis_order:
+            passes.append(PassDesc(level=s.bit_length(), stride=s, axis=ax,
+                                   steps=tuple(steps)))
+            steps[ax] = s
+        s //= 2
+    return passes
+
+
+def level_error_bounds(eb: float, spec: InterpSpec) -> dict[int, float]:
+    """Per-level absolute error bounds ``e_l = e / min(alpha^(l-1), beta)``."""
+    return {lv: eb / min(spec.alpha ** (lv - 1), spec.beta)
+            for lv in range(1, spec.n_levels + 1)}
+
+
+@dataclass
+class InterpResult:
+    """Everything the pipeline needs after a compression traversal."""
+
+    codes: np.ndarray            # uint32 quant-codes in pass order
+    outliers: np.ndarray         # float32 compacted outlier values
+    anchors: np.ndarray          # float32 anchor grid
+    reconstructed: np.ndarray    # float64, what the decompressor will see
+    pass_sizes: list[int] = field(default_factory=list)
+
+
+def _axis_indices(shape: tuple[int, ...], p: PassDesc) -> list[np.ndarray]:
+    """Per-axis sample positions making up this pass's target grid."""
+    out = []
+    for ax, n in enumerate(shape):
+        if ax == p.axis:
+            out.append(np.arange(p.stride, n, 2 * p.stride, dtype=np.int64))
+        else:
+            out.append(np.arange(0, n, p.steps[ax], dtype=np.int64))
+    return out
+
+
+def _flat_block(axes_idx: list[np.ndarray], shape: tuple[int, ...]
+                ) -> np.ndarray:
+    """Broadcast-sum per-axis offsets into a block of flat C indices."""
+    ndim = len(shape)
+    strides = [1] * ndim
+    for ax in range(ndim - 2, -1, -1):
+        strides[ax] = strides[ax + 1] * shape[ax + 1]
+    total = np.zeros((1,) * ndim, dtype=np.int64)
+    for ax, idx in enumerate(axes_idx):
+        view = [1] * ndim
+        view[ax] = idx.size
+        total = total + (idx * strides[ax]).reshape(view)
+    return total
+
+
+def _class_1d(t: np.ndarray, n: int, s: int, window: int | None,
+              cubic_variant: int) -> np.ndarray:
+    """Spline class per target position along the interpolation axis."""
+    avail = {}
+    if window is not None:
+        wstep = window - 1
+        lo = (t // wstep) * wstep
+        hi = np.minimum(lo + wstep, n - 1)
+    for k in NEIGHBOR_OFFSETS:
+        pos = t + k * s
+        ok = (pos >= 0) & (pos <= n - 1)
+        if window is not None:
+            ok &= (pos >= lo) & (pos <= hi)
+        avail[k] = ok
+    return classify(avail[-3], avail[-1], avail[1], avail[3], cubic_variant)
+
+
+def _pass_predict(work_flat: np.ndarray, shape: tuple[int, ...],
+                  spec: InterpSpec, p: PassDesc
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Compute (flat target indices, predictions) for one pass."""
+    axes_idx = _axis_indices(shape, p)
+    t = axes_idx[p.axis]
+    if t.size == 0 or any(a.size == 0 for a in axes_idx):
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64)
+    flat = _flat_block(axes_idx, shape)
+    block_shape = flat.shape
+    flat = flat.ravel()
+
+    window = spec.window_shape[p.axis] if spec.window_shape else None
+    cls1d = _class_1d(t, shape[p.axis], p.stride, window,
+                      spec.cubic_variant[p.axis])
+    view = [1] * len(shape)
+    view[p.axis] = t.size
+    cls = np.broadcast_to(cls1d.reshape(view), block_shape).ravel()
+
+    ndim = len(shape)
+    ax_stride = 1
+    for ax in range(p.axis + 1, ndim):
+        ax_stride *= shape[ax]
+    size = work_flat.size
+    pred = np.zeros(flat.size, dtype=np.float64)
+    weights = SPLINE_WEIGHTS
+    for j, k in enumerate(NEIGHBOR_OFFSETS):
+        w = weights[cls, j]
+        idx = flat + (k * p.stride * ax_stride)
+        np.clip(idx, 0, size - 1, out=idx)
+        pred += w * work_flat[idx]
+    return flat, pred
+
+
+def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
+                    quantizer: LinearQuantizer | None = None) -> InterpResult:
+    """Run the full interpolation-compression traversal.
+
+    ``data`` is the (possibly padded) float field; returns quant-codes in
+    pass order, compacted outliers, the float32 anchor grid, and the exact
+    reconstruction the decompressor will reproduce.
+    """
+    spec = spec.resolved(data.ndim)
+    quantizer = quantizer or LinearQuantizer()
+    work = data.astype(np.float64, copy=True)
+    anchors = extract_anchors(work, spec.anchor_stride,
+                              quantizer.value_dtype)
+    apply_anchors(work, anchors, spec.anchor_stride)
+    work_flat = work.ravel()
+
+    ebs = level_error_bounds(eb, spec)
+    codes_parts: list[np.ndarray] = []
+    outlier_parts: list[np.ndarray] = []
+    sizes: list[int] = []
+    orig_flat = data.ravel()
+    for p in pass_plan(data.ndim, spec):
+        flat, pred = _pass_predict(work_flat, data.shape, spec, p)
+        sizes.append(flat.size)
+        if flat.size == 0:
+            continue
+        res = quantizer.quantize(orig_flat[flat], pred, ebs[p.level])
+        work_flat[flat] = res.reconstructed
+        codes_parts.append(res.codes)
+        outlier_parts.append(res.outlier_values)
+
+    codes = (np.concatenate(codes_parts) if codes_parts
+             else np.empty(0, np.uint32))
+    outliers = (np.concatenate(outlier_parts) if outlier_parts
+                else np.empty(0, np.float32))
+    return InterpResult(codes=codes, outliers=outliers, anchors=anchors,
+                        reconstructed=work, pass_sizes=sizes)
+
+
+def interp_decompress(shape: tuple[int, ...], spec: InterpSpec, eb: float,
+                      codes: np.ndarray, outliers: np.ndarray,
+                      anchors: np.ndarray,
+                      quantizer: LinearQuantizer | None = None
+                      ) -> np.ndarray:
+    """Replay :func:`interp_compress` from its outputs.
+
+    Returns the float64 reconstruction, bit-identical to
+    ``InterpResult.reconstructed``.
+    """
+    spec = spec.resolved(len(shape))
+    quantizer = quantizer or LinearQuantizer()
+    work = np.zeros(shape, dtype=np.float64)
+    apply_anchors(work, anchors.reshape(
+        tuple(-(-n // spec.anchor_stride) for n in shape)),
+        spec.anchor_stride)
+    work_flat = work.ravel()
+
+    ebs = level_error_bounds(eb, spec)
+    cursor = 0
+    out_cursor = 0
+    for p in pass_plan(len(shape), spec):
+        flat, pred = _pass_predict(work_flat, shape, spec, p)
+        if flat.size == 0:
+            continue
+        pass_codes = codes[cursor:cursor + flat.size]
+        cursor += flat.size
+        recon, out_cursor = quantizer.dequantize(
+            pass_codes, pred, ebs[p.level], outliers, out_cursor)
+        work_flat[flat] = recon
+    return work

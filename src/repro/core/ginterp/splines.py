@@ -1,0 +1,86 @@
+"""1D interpolation splines (paper §V-B.1, Fig. 3/4).
+
+Every prediction is a weighted sum of up to four already-reconstructed
+neighbors at offsets ``{-3, -1, +1, +3}`` (in units of the current stride)
+along the interpolation axis. Which spline applies depends on how many of
+those neighbors are *available* — inside the data domain and inside the
+shared thread-block window:
+
+=========  =============================  =====================
+neighbors  spline                         weights on (-3,-1,+1,+3)
+=========  =============================  =====================
+4          cubic, not-a-knot              (-1/16, 9/16, 9/16, -1/16)
+4          cubic, natural                 (-3/40, 23/40, 23/40, -3/40)
+3 (left)   quadratic                      (-1/8, 6/8, 3/8, 0)
+3 (right)  quadratic                      (0, -3/8, 6/8, -1/8)
+2          linear                         (0, 1/2, 1/2, 0)
+1          nearest (copy the neighbor)    one-hot
+=========  =============================  =====================
+
+The two cubic variants serve the same four-neighbor case; auto-tuning picks
+the better one per axis per input (§V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CUBIC_NAK", "CUBIC_NAT", "QUAD_LEFT", "QUAD_RIGHT", "LINEAR",
+    "NEAREST_LEFT", "NEAREST_RIGHT", "SPLINE_WEIGHTS", "SPLINE_NAMES",
+    "NEIGHBOR_OFFSETS", "classify",
+]
+
+# class ids — indices into SPLINE_WEIGHTS
+CUBIC_NAK = 0
+CUBIC_NAT = 1
+QUAD_LEFT = 2
+QUAD_RIGHT = 3
+LINEAR = 4
+NEAREST_LEFT = 5
+NEAREST_RIGHT = 6
+
+#: neighbor offsets in stride units, fixed order
+NEIGHBOR_OFFSETS = (-3, -1, 1, 3)
+
+#: weight matrix, rows indexed by class id, columns by NEIGHBOR_OFFSETS
+SPLINE_WEIGHTS = np.array([
+    [-1 / 16, 9 / 16, 9 / 16, -1 / 16],   # cubic not-a-knot
+    [-3 / 40, 23 / 40, 23 / 40, -3 / 40],  # cubic natural
+    [-1 / 8, 6 / 8, 3 / 8, 0.0],           # quadratic (n-3, n-1, n+1)
+    # NOTE: the paper prints -3/8 for the x_{n-1} weight, but those weights
+    # sum to 1/4 and cannot reproduce constants; the Lagrange quadratic
+    # through nodes (-1, +1, +3) evaluated at 0 (and the mirror of the
+    # left variant) is (3/8, 6/8, -1/8).
+    [0.0, 3 / 8, 6 / 8, -1 / 8],           # quadratic (n-1, n+1, n+3)
+    [0.0, 0.5, 0.5, 0.0],                  # linear
+    [0.0, 1.0, 0.0, 0.0],                  # nearest left
+    [0.0, 0.0, 1.0, 0.0],                  # nearest right
+], dtype=np.float64)
+
+SPLINE_NAMES = ("cubic-not-a-knot", "cubic-natural", "quadratic-left",
+                "quadratic-right", "linear", "nearest-left", "nearest-right")
+
+
+def classify(am3: np.ndarray, am1: np.ndarray, ap1: np.ndarray,
+             ap3: np.ndarray, cubic_variant: int) -> np.ndarray:
+    """Map neighbor-availability masks to spline class ids.
+
+    ``am3..ap3`` are boolean arrays saying whether the neighbor at that
+    offset is available; ``cubic_variant`` is :data:`CUBIC_NAK` or
+    :data:`CUBIC_NAT` (from auto-tuning). Positions with no available
+    neighbor at all are classified nearest-left; the engine never generates
+    such positions (an interpolation axis always has a grid point at 0).
+    """
+    cls = np.full(am1.shape, NEAREST_LEFT, dtype=np.int8)
+    only_right = ~am1 & ap1
+    cls[only_right] = NEAREST_RIGHT
+    lin = am1 & ap1
+    cls[lin] = LINEAR
+    quad_r = lin & ap3
+    cls[quad_r] = QUAD_RIGHT
+    quad_l = lin & am3
+    cls[quad_l] = QUAD_LEFT
+    cub = quad_l & ap3
+    cls[cub] = cubic_variant
+    return cls

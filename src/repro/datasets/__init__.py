@@ -1,0 +1,42 @@
+"""Synthetic analogues of the paper's six evaluation datasets (Table II).
+
+The SDRBench production data is unavailable offline, so each dataset is
+replaced by a seeded generator reproducing the *statistics that drive
+compressor behaviour*: spectral decay (how predictable a sample is from
+its neighbors), sharp-feature structure (interfaces, fronts, shocks), and
+value distribution (dynamic range, dead/constant regions). See DESIGN.md
+§1 for the substitution rationale.
+
+Default shapes are scaled down ~4x per axis from Table II so the full
+benchmark suite runs on a laptop; generators accept any shape.
+"""
+
+from repro.datasets.synthetic import (
+    jhtdb_field,
+    miranda_field,
+    nyx_field,
+    qmcpack_field,
+    rtm_field,
+    s3d_field,
+)
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetInfo,
+    get_dataset,
+    load_field,
+    dataset_names,
+)
+
+__all__ = [
+    "jhtdb_field",
+    "miranda_field",
+    "nyx_field",
+    "qmcpack_field",
+    "rtm_field",
+    "s3d_field",
+    "DATASETS",
+    "DatasetInfo",
+    "get_dataset",
+    "load_field",
+    "dataset_names",
+]

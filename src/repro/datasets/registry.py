@@ -1,0 +1,140 @@
+"""Dataset registry — the Table II inventory, scaled for laptop runs.
+
+``load_field(dataset, field)`` is the single entry point the experiment
+harness uses; fields are generated deterministically on demand (nothing is
+stored on disk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.datasets import synthetic
+
+__all__ = ["DatasetInfo", "DATASETS", "get_dataset", "load_field",
+           "dataset_names", "rtm_steps"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """One evaluation dataset (a Table II row)."""
+
+    name: str
+    description: str
+    paper_shape: tuple[int, ...]     # per-file dims reported in Table II
+    default_shape: tuple[int, ...]   # scaled-down dims used here
+    fields: tuple[str, ...]          # per-file field labels
+    paper_total_gb: float = 0.0      # Table II dataset size on disk
+    generator: Callable[..., np.ndarray] = dc_field(repr=False, hash=False,
+                                                    compare=False,
+                                                    default=None)
+
+    def load(self, field: str, shape: tuple[int, ...] | None = None
+             ) -> np.ndarray:
+        """Generate one field of this dataset."""
+        if field not in self.fields:
+            raise ConfigError(
+                f"dataset {self.name!r} has no field {field!r}; "
+                f"choose from {self.fields}")
+        shape = shape or self.default_shape
+        if self.name == "rtm":
+            step = int(field.removeprefix("snap"))
+            return synthetic.rtm_field(shape, step=step)
+        return self.generator(shape, field=field)
+
+
+def rtm_steps(n: int = 37, total: int = 3700, skip_initial: int = 300
+              ) -> list[int]:
+    """The paper's RTM sampling: ~one snapshot per 100 steps of a
+    3700-step run, skipping the initialization phase (Fig. 6 caption).
+    Always returns exactly ``n`` steps inside ``[skip_initial, total)``."""
+    stride = max(1, (total - skip_initial) // n)
+    return [skip_initial + i * stride for i in range(n)]
+
+
+_RTM_TABLE_FIELDS = tuple(f"snap{s}" for s in (600, 1400, 2200, 3000, 3600))
+
+DATASETS: dict[str, DatasetInfo] = {
+    "jhtdb": DatasetInfo(
+        name="jhtdb",
+        description="numerical simulation of turbulence",
+        paper_total_gb=5.0,
+        paper_shape=(512, 512, 512),
+        default_shape=(128, 128, 128),
+        fields=("u", "v", "w", "p", "u2", "v2", "w2", "p2",
+                "u3", "v3"),  # 10 files in Table II
+        generator=synthetic.jhtdb_field,
+    ),
+    "miranda": DatasetInfo(
+        name="miranda",
+        description="hydrodynamics simulation",
+        paper_total_gb=1.0,
+        paper_shape=(256, 384, 384),
+        default_shape=(64, 96, 96),
+        fields=("density", "pressure", "velocity", "diffusivity",
+                "density2", "pressure2", "velocity2"),  # 7 files
+        generator=synthetic.miranda_field,
+    ),
+    "nyx": DatasetInfo(
+        name="nyx",
+        description="cosmological hydrodynamics simulation",
+        paper_total_gb=3.1,
+        paper_shape=(512, 512, 512),
+        default_shape=(128, 128, 128),
+        fields=("baryon_density", "dark_matter_density", "temperature",
+                "velocity_x", "velocity_y", "velocity_z"),  # 6 files
+        generator=synthetic.nyx_field,
+    ),
+    "qmcpack": DatasetInfo(
+        name="qmcpack",
+        description="Monte Carlo quantum simulation",
+        paper_total_gb=0.612,
+        paper_shape=(288 * 115, 69, 69),
+        default_shape=(160, 69, 69),
+        fields=("einspline",),
+        generator=synthetic.qmcpack_field,
+    ),
+    "rtm": DatasetInfo(
+        name="rtm",
+        description="reverse time migration for seismic imaging",
+        paper_total_gb=6.5,
+        paper_shape=(449, 449, 235),
+        default_shape=(112, 112, 59),
+        fields=_RTM_TABLE_FIELDS,
+        generator=None,
+    ),
+    "s3d": DatasetInfo(
+        name="s3d",
+        description="combustion process simulation",
+        paper_total_gb=5.1,
+        paper_shape=(500, 500, 500),
+        default_shape=(125, 125, 125),
+        fields=("CO", "OH", "HO2", "temperature", "pressure", "CH4",
+                "O2", "H2O", "CO2", "N2", "CH2O"),  # 11 files
+        generator=synthetic.s3d_field,
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered dataset names, Table II order."""
+    return list(DATASETS)
+
+
+def get_dataset(name: str) -> DatasetInfo:
+    """Look up a dataset by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise ConfigError(f"unknown dataset {name!r}; "
+                          f"choose from {dataset_names()}")
+
+
+def load_field(dataset: str, field: str,
+               shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Generate one named field of one dataset (deterministic)."""
+    return get_dataset(dataset).load(field, shape)

@@ -1,0 +1,107 @@
+"""Cheap pre-compression estimators.
+
+In-situ pipelines must pick a codec and error bound *before* spending a
+full compression pass. These estimators sample the field, run the actual
+predictors on the sample, and convert the resulting quant-code entropy
+into a compression-ratio estimate — the same profiling philosophy as
+cuSZ-i's §V-C kernel, extended from spline choice to size prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.lorenzo import lorenzo_delta, lorenzo_prequantize
+from repro.common.errors import ConfigError
+from repro.common.quantizer import DEFAULT_RADIUS, LinearQuantizer
+from repro.core.ginterp.engine import InterpSpec, interp_compress
+from repro.core.pipeline import DEFAULT_WINDOW, resolve_eb
+
+__all__ = ["estimate_ratio", "code_entropy", "RatioEstimate",
+           "recommend_codec"]
+
+
+def code_entropy(codes: np.ndarray, alphabet_size: int) -> float:
+    """Shannon entropy (bits/symbol) of a quant-code stream."""
+    if codes.size == 0:
+        return 0.0
+    counts = np.bincount(codes.ravel(), minlength=alphabet_size)
+    p = counts[counts > 0] / codes.size
+    return float(-(p * np.log2(p)).sum())
+
+
+@dataclass
+class RatioEstimate:
+    """Estimated compression outcome of one (codec family, eb) pair."""
+
+    predictor: str
+    entropy_bits: float        # bits per element after prediction
+    estimated_ratio: float     # vs float32
+    sample_fraction: float
+
+
+def _sample_block(data: np.ndarray, max_elements: int) -> np.ndarray:
+    """A centered contiguous block with about ``max_elements`` samples."""
+    if data.size <= max_elements:
+        return data
+    frac = (max_elements / data.size) ** (1.0 / data.ndim)
+    slices = []
+    for n in data.shape:
+        span = max(9, int(n * frac))
+        start = max(0, (n - span) // 2)
+        slices.append(slice(start, min(n, start + span)))
+    return np.ascontiguousarray(data[tuple(slices)])
+
+
+def estimate_ratio(data: np.ndarray, eb: float, mode: str = "rel",
+                   predictor: str = "ginterp",
+                   max_elements: int = 64 ** 3) -> RatioEstimate:
+    """Estimate the compression ratio without a full compression pass.
+
+    Runs the chosen predictor on a centered sample block and maps the
+    quant-code entropy to bits/element, adding the pipeline's structural
+    overheads (anchors for G-Interp, chunk tables). Estimates land within
+    ~20-30% of the Huffman-coded size on stationary fields; the GLE gain
+    on top is data-dependent and *not* estimated (treat the result as an
+    upper bound on bits/element).
+    """
+    abs_eb = resolve_eb(data, eb, mode)
+    block = _sample_block(data, max_elements)
+    if predictor == "ginterp":
+        spec = InterpSpec(anchor_stride=8 if data.ndim == 3 else 16,
+                          window_shape=DEFAULT_WINDOW.get(block.ndim),
+                          alpha=1.5)
+        res = interp_compress(block, spec, abs_eb,
+                              LinearQuantizer(DEFAULT_RADIUS))
+        bits = code_entropy(res.codes, 2 * DEFAULT_RADIUS)
+        overhead = 32.0 / spec.anchor_stride ** block.ndim  # anchors
+    elif predictor == "lorenzo":
+        delta = lorenzo_delta(lorenzo_prequantize(block, abs_eb))
+        clipped = np.clip(delta + DEFAULT_RADIUS, 0,
+                          2 * DEFAULT_RADIUS - 1).astype(np.uint32)
+        bits = code_entropy(clipped, 2 * DEFAULT_RADIUS)
+        overhead = 0.0
+    else:
+        raise ConfigError(f"unknown predictor {predictor!r}; "
+                          "use 'ginterp' or 'lorenzo'")
+    # Huffman cannot beat 1 bit/element without the de-redundancy pass
+    bits_total = max(bits, 1.0) + overhead + 0.05
+    return RatioEstimate(predictor=predictor, entropy_bits=bits,
+                         estimated_ratio=32.0 / bits_total,
+                         sample_fraction=block.size / data.size)
+
+
+def recommend_codec(data: np.ndarray, eb: float,
+                    mode: str = "rel") -> tuple[str, RatioEstimate]:
+    """Pick cuSZ-i or cuSZ for a field from the sampled estimates.
+
+    Returns ``(codec_name, winning_estimate)`` — the cheap advisor an
+    in-situ framework would call once per new variable.
+    """
+    gi = estimate_ratio(data, eb, mode, predictor="ginterp")
+    lo = estimate_ratio(data, eb, mode, predictor="lorenzo")
+    if gi.estimated_ratio >= lo.estimated_ratio:
+        return "cuszi", gi
+    return "cusz", lo

@@ -1,0 +1,18 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale=...)`` returning a result object with the
+raw rows plus a ``format()`` text rendering of the paper artifact. The
+``small`` scale trims fields/error bounds for quick runs (benchmarks); the
+``full`` scale covers every field of every dataset at the paper's settings.
+
+Regenerate everything with ``python -m repro.experiments all``.
+"""
+
+from repro.experiments.harness import (
+    CompressionRun,
+    run_codec,
+    scale_fields,
+    EB_GRID,
+)
+
+__all__ = ["CompressionRun", "run_codec", "scale_fields", "EB_GRID"]

@@ -1,0 +1,70 @@
+"""Run paper experiments: ``python -m repro.experiments <name> [options]``.
+
+Names: table3, fig5..fig10, ablations, pareto, all.
+``--out DIR`` also writes each rendered artifact to ``DIR/<name>.txt``
+(and, for fig8, the reconstruction/error slice images under
+``DIR/fig8_slices/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import (ablations, fig5, fig6, fig7, fig8, fig9,
+                               fig10, pareto, table3)
+
+MODULES = {
+    "table3": table3,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "ablations": ablations,
+    "pareto": pareto,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("name", choices=sorted(MODULES) + ["all"])
+    parser.add_argument("--scale", choices=("small", "full"),
+                        default="small",
+                        help="small = quick representative subset; "
+                             "full = every field at paper settings")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="also write rendered artifacts (and fig8 "
+                             "slice images) under DIR")
+    args = parser.parse_args(argv)
+    names = sorted(MODULES) if args.name == "all" else [args.name]
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+    for name in names:
+        t0 = time.time()
+        if name == "fig8" and args.out:
+            result = MODULES[name].run(scale=args.scale, save_slices=True)
+        else:
+            result = MODULES[name].run(scale=args.scale)
+        text = result.format()
+        print(text)
+        print(f"\n[{name} completed in {time.time() - t0:.1f}s "
+              f"at scale={args.scale}]\n")
+        if args.out:
+            with open(os.path.join(args.out, f"{name}.txt"), "w") as f:
+                f.write(text + "\n")
+            if name == "fig8":
+                from repro.experiments.visualize import save_fig8_slices
+                paths = save_fig8_slices(
+                    result, os.path.join(args.out, "fig8_slices"))
+                print(f"[fig8: wrote {len(paths)} slice images]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Ablation studies of cuSZ-i's design choices (DESIGN.md §5).
+
+Quantifies, per dataset field, the contribution of each G-Interp design
+element the paper motivates:
+
+* **window confinement** — the accuracy-parallelism tradeoff of §V-A
+  (shared 33x9x9 windows vs global CPU-style interpolation);
+* **level-wise error bounds** — alpha from Eq. 1 vs uniform (alpha=1);
+* **auto-tuning** — profiling-driven spline/axis-order choice vs defaults;
+* **anchor spacing** — stride 8 vs coarser grids;
+* **lossless synergy** — Huffman-only vs Huffman+GLE;
+* **prebuilt codebooks** — the §VI-A "prebuilt Huffman trees" direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import load_field
+from repro.experiments.harness import format_table, run_codec
+
+__all__ = ["run", "AblationResult", "VARIANTS"]
+
+#: name -> CuSZi constructor overrides
+VARIANTS = {
+    "full": {},
+    "no-window": {"use_windows": False},
+    "alpha=1": {"alpha": 1.0},
+    "no-tuning": {"tune": False},
+    "anchor-16": {"anchor_stride": 16},
+    "anchor-32": {"anchor_stride": 32},
+    "huffman-only": {"lossless": "none"},
+    "static-codebook": {"codebook": "static"},
+}
+
+
+@dataclass
+class AblationResult:
+    #: {(dataset, eb, variant): (ratio, psnr)}
+    cells: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["dataset", "eb", "variant", "CR", "psnr dB"]
+        rows = []
+        for (ds, eb, var), (cr, p) in sorted(self.cells.items()):
+            rows.append([ds, f"{eb:.0e}", var, f"{cr:.1f}", f"{p:.2f}"])
+        return format_table(headers, rows,
+                            title="cuSZ-i design ablations")
+
+
+def run(scale: str = "small", ebs=(1e-2, 1e-4)) -> AblationResult:
+    """Run every ablation variant on representative fields."""
+    reps = [("jhtdb", "u"), ("miranda", "density")]
+    if scale == "full":
+        reps += [("nyx", "baryon_density"), ("s3d", "CO"),
+                 ("qmcpack", "einspline"), ("rtm", "snap1400")]
+    result = AblationResult()
+    for ds, fld in reps:
+        data = load_field(ds, fld)
+        for eb in ebs:
+            for var, overrides in VARIANTS.items():
+                kw = {"lossless": "gle", **overrides}
+                lossless = kw.pop("lossless")
+                r = run_codec("cuszi", data, dataset=ds, field=fld, eb=eb,
+                              lossless=lossless, **kw)
+                result.cells[(ds, eb, var)] = (r.ratio, r.psnr)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

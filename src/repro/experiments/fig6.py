@@ -1,0 +1,63 @@
+"""Fig. 6: PSNR of interpolation vs Lorenzo across RTM snapshots.
+
+One snapshot is sampled per 100 timesteps of the nominal 3700-step RTM run
+(initialization excluded), compressed at two fixed relative error bounds,
+and the decompression PSNR compared across predictors: G-Interp (cuSZ-i),
+CPU interpolation (SZ3), and GPU Lorenzo (cuSZ). The paper's claims to
+verify: G-Interp > Lorenzo by ~2.5-10 dB everywhere, and G-Interp >= CPU
+interpolation thanks to the anchor points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.registry import rtm_steps
+from repro.datasets.synthetic import rtm_field
+from repro.experiments.harness import format_table, run_codec
+
+__all__ = ["run", "Fig6Result", "SERIES"]
+
+SERIES = ("cuszi", "sz3", "cusz", "sz14")
+
+
+@dataclass
+class Fig6Result:
+    #: {(eb, codec): [(step, psnr), ...]}
+    series: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        parts = []
+        for eb in sorted({k[0] for k in self.series}, reverse=True):
+            headers = ["step"] + [c for c in SERIES] + ["ginterp-lorenzo dB"]
+            steps = [s for s, _ in self.series[(eb, SERIES[0])]]
+            rows = []
+            for i, st in enumerate(steps):
+                vals = {c: self.series[(eb, c)][i][1] for c in SERIES}
+                rows.append([str(st)]
+                            + [f"{vals[c]:.2f}" for c in SERIES]
+                            + [f"{vals['cuszi'] - vals['cusz']:+.2f}"])
+            parts.append(format_table(
+                headers, rows, title=f"Fig. 6 — RTM PSNR at rel eb {eb:.0e}"))
+        return "\n\n".join(parts)
+
+
+def run(scale: str = "small", ebs=(1e-3, 1e-4)) -> Fig6Result:
+    """Regenerate Fig. 6's PSNR-vs-snapshot series."""
+    n_snap = 8 if scale == "small" else 37
+    steps = rtm_steps(n=n_snap)
+    result = Fig6Result()
+    for eb in ebs:
+        for codec in SERIES:
+            pts = []
+            for st in steps:
+                data = rtm_field(step=st)
+                r = run_codec(codec, data, dataset="rtm",
+                              field=f"snap{st}", eb=eb, lossless="none")
+                pts.append((st, r.psnr))
+            result.series[(eb, codec)] = pts
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

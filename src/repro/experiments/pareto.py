@@ -1,0 +1,81 @@
+"""Throughput-ratio Pareto front (paper §VII-C.4, closing claim).
+
+The paper argues cuSZ-i "established the Pareto front in scenarios of
+transferring data over bandwidth-limited channels": no other GPU
+compressor offers both a higher ratio and a higher throughput. This module
+computes, per dataset and error bound, each compressor's (compression
+throughput, compression ratio) point on the modelled A100 and reports
+which points are Pareto-optimal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import load_field
+from repro.experiments.harness import format_table, run_codec
+from repro.gpu import A100_THETA, estimate_throughput
+
+__all__ = ["run", "ParetoResult", "pareto_front"]
+
+CODECS = ("cuszi", "cusz", "cuszp", "cuszx", "fzgpu")
+
+
+def pareto_front(points: dict[str, tuple[float, float]]) -> set[str]:
+    """Names whose (throughput, ratio) point no other point dominates."""
+    front = set()
+    for name, (tp, cr) in points.items():
+        dominated = any(
+            otp >= tp and ocr >= cr and (otp > tp or ocr > cr)
+            for oname, (otp, ocr) in points.items() if oname != name)
+        if not dominated:
+            front.add(name)
+    return front
+
+
+@dataclass
+class ParetoResult:
+    #: {(dataset, eb, codec): (throughput GB/s, ratio)}
+    points: dict = field(default_factory=dict)
+    #: {(dataset, eb): set of Pareto-optimal codec names}
+    fronts: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        headers = ["dataset", "eb", "codec", "GB/s", "ratio", "on front"]
+        rows = []
+        for (ds, eb, codec), (tp, cr) in sorted(self.points.items()):
+            on = codec in self.fronts[(ds, eb)]
+            rows.append([ds, f"{eb:.0e}", codec, f"{tp:.0f}",
+                         f"{cr:.1f}", "yes" if on else ""])
+        return format_table(
+            headers, rows,
+            title="Throughput-ratio Pareto points (A100 model, with GLE)")
+
+
+def run(scale: str = "small", ebs=(1e-2, 1e-3)) -> ParetoResult:
+    """Compute the Pareto analysis on representative fields."""
+    reps = [("jhtdb", "u"), ("qmcpack", "einspline")]
+    if scale == "full":
+        reps += [("miranda", "density"), ("nyx", "baryon_density"),
+                 ("rtm", "snap1400"), ("s3d", "CO")]
+    n_model = 512 ** 3
+    result = ParetoResult()
+    for ds, fld in reps:
+        data = load_field(ds, fld)
+        for eb in ebs:
+            pts = {}
+            for codec in CODECS:
+                r = run_codec(codec, data, dataset=ds, field=fld, eb=eb,
+                              lossless="gle", verify=False)
+                cb = int(n_model * 4 / r.ratio)
+                tp = estimate_throughput(codec, "compress", n_model, cb,
+                                         A100_THETA,
+                                         lossless="gle").throughput_gbps
+                pts[codec] = (tp, r.ratio)
+                result.points[(ds, eb, codec)] = (tp, r.ratio)
+            result.fronts[(ds, eb)] = pareto_front(pts)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,87 @@
+"""Table III: fixed-error-bound compression ratios, without and with the
+de-redundancy pass (GLE as the Bitcomp-lossless stand-in).
+
+For each dataset and error bound, the compression ratio is the
+size-weighted aggregate over the dataset's fields (total original bytes /
+total compressed bytes), mirroring how the paper reports per-dataset CRs
+over multi-file datasets. The cuSZ-i advantage column reproduces the
+paper's "Advant.%" = (CR_cuszi / best-other - 1) * 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import load_field
+from repro.experiments.harness import (EB_GRID, format_table, run_codec,
+                                       scale_fields)
+
+__all__ = ["run", "Table3Result", "CODECS"]
+
+#: the Table III compressor columns (cuZFP excluded: no absolute-eb mode)
+CODECS = ("cusz", "cuszp", "cuszx", "fzgpu", "cuszi")
+
+
+@dataclass
+class Table3Result:
+    """All Table III cells: {(dataset, eb, lossless, codec): ratio}."""
+
+    cells: dict = field(default_factory=dict)
+    scale: str = "small"
+
+    def ratio(self, dataset: str, eb: float, lossless: str,
+              codec: str) -> float:
+        return self.cells[(dataset, eb, lossless, codec)]
+
+    def advantage(self, dataset: str, eb: float, lossless: str) -> float:
+        """cuSZ-i's % advantage over the best other codec (paper col 6/vi)."""
+        others = [self.ratio(dataset, eb, lossless, c) for c in CODECS
+                  if c != "cuszi"]
+        best = max(others)
+        return (self.ratio(dataset, eb, lossless, "cuszi") / best - 1) * 100
+
+    def format(self) -> str:
+        parts = []
+        for lossless, label in (("none", "without de-redundancy (cols 1-6)"),
+                                ("gle", "with GLE/Bitcomp (cols i-vi)")):
+            headers = ["dataset", "eb"] + list(CODECS) + ["Advant.%"]
+            rows = []
+            datasets = sorted({k[0] for k in self.cells})
+            for ds in datasets:
+                for eb in EB_GRID:
+                    row = [ds, f"{eb:.0e}"]
+                    for c in CODECS:
+                        row.append(f"{self.ratio(ds, eb, lossless, c):.1f}")
+                    row.append(f"{self.advantage(ds, eb, lossless):+.1f}")
+                    rows.append(row)
+            parts.append(format_table(headers, rows,
+                                      title=f"Table III — {label}"))
+        return "\n\n".join(parts)
+
+
+def run(scale: str = "small", ebs=EB_GRID) -> Table3Result:
+    """Regenerate Table III."""
+    result = Table3Result(scale=scale)
+    pairs = scale_fields(scale)
+    by_dataset: dict[str, list[str]] = {}
+    for ds, fld in pairs:
+        by_dataset.setdefault(ds, []).append(fld)
+    for ds, flds in by_dataset.items():
+        fields_data = [(fld, load_field(ds, fld)) for fld in flds]
+        for eb in ebs:
+            for lossless in ("none", "gle"):
+                for codec in CODECS:
+                    orig = 0
+                    comp = 0
+                    for fld, data in fields_data:
+                        r = run_codec(codec, data, dataset=ds, field=fld,
+                                      eb=eb, lossless=lossless,
+                                      verify=False)
+                        orig += r.original_bytes
+                        comp += r.compressed_bytes
+                    result.cells[(ds, eb, lossless, codec)] = orig / comp
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,73 @@
+"""Greyscale image dumps for the Fig. 8 visual case study.
+
+No plotting stack is available offline, so slices are written as binary
+PGM (P5) images — viewable anywhere — plus amplified error maps, which is
+exactly what the paper's Fig. 8 zoom panels show qualitatively.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.common.errors import DataError
+
+__all__ = ["slice_to_pgm", "save_fig8_slices"]
+
+
+def slice_to_pgm(arr: np.ndarray, path: str, vmin: float | None = None,
+                 vmax: float | None = None) -> None:
+    """Write a 2D array as an 8-bit binary PGM image.
+
+    Values are linearly mapped from ``[vmin, vmax]`` (defaults: the array
+    range) to 0..255; a shared range across images makes them comparable.
+    """
+    if arr.ndim != 2:
+        raise DataError(f"need a 2D slice, got {arr.ndim}D")
+    a = arr.astype(np.float64)
+    lo = float(a.min()) if vmin is None else float(vmin)
+    hi = float(a.max()) if vmax is None else float(vmax)
+    if hi <= lo:
+        pixels = np.zeros(a.shape, dtype=np.uint8)
+    else:
+        pixels = np.clip((a - lo) / (hi - lo) * 255.0, 0,
+                         255).astype(np.uint8)
+    header = f"P5\n{a.shape[1]} {a.shape[0]}\n255\n".encode()
+    with open(path, "wb") as f:
+        f.write(header + pixels.tobytes())
+
+
+def save_fig8_slices(result, outdir: str,
+                     error_gain: float = 10.0) -> list[str]:
+    """Write the Fig. 8 slice set: originals, reconstructions, error maps.
+
+    ``result`` is a :class:`~repro.experiments.fig8.Fig8Result` produced
+    with ``save_slices=True``. Error maps are |recon - original| amplified
+    by ``error_gain`` relative to the field range, so artifacts pop the way
+    the paper's zoom panels do. Returns the written paths.
+    """
+    if not result.slices:
+        raise DataError("result has no slices; rerun fig8.run("
+                        "save_slices=True)")
+    os.makedirs(outdir, exist_ok=True)
+    written = []
+    snaps = {k[0] for k in result.slices}
+    for snap in snaps:
+        original = result.slices[(snap, "original")]
+        lo, hi = float(original.min()), float(original.max())
+        tag = snap.replace("/", "_")
+        path = os.path.join(outdir, f"{tag}_original.pgm")
+        slice_to_pgm(original, path, lo, hi)
+        written.append(path)
+        for (s, codec), sl in result.slices.items():
+            if s != snap or codec == "original":
+                continue
+            path = os.path.join(outdir, f"{tag}_{codec}.pgm")
+            slice_to_pgm(sl, path, lo, hi)
+            written.append(path)
+            err = np.abs(sl.astype(np.float64) - original) * error_gain
+            path = os.path.join(outdir, f"{tag}_{codec}_error.pgm")
+            slice_to_pgm(err, path, 0.0, hi - lo)
+            written.append(path)
+    return written

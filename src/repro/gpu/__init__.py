@@ -1,0 +1,51 @@
+"""Analytical GPU performance model (the hardware substitute for Fig. 9/10).
+
+No GPU is available offline, and compression *ratios* don't need one — but
+the paper's throughput (Fig. 9) and transfer (Fig. 10) results do. This
+package models each compressor's kernel pipeline on the paper's testbeds
+(Table I): every kernel is costed as
+
+    ``time = max(bytes / (bw * mem_eff), flops / (peak * flop_eff))
+             + fixed overhead``
+
+a roofline with a launch/synchronization floor. Kernel inventories encode
+each pipeline's real structure — cuSZ-i pays for many small dependent
+spline stages and scattered gathers; Lorenzo pipelines are single streaming
+passes — which is what reproduces the paper's §VII-C.4 observations:
+cuSZ-i at ~60% of cuSZ's compression throughput on A100 but 70-80% on the
+lower-bandwidth A40, where the fixed stage overheads matter less.
+"""
+
+from repro.gpu.device import DeviceSpec, A100_THETA, A40_JLSE, DEVICES
+from repro.gpu.kernels import Kernel, kernel_time
+from repro.gpu.perfmodel import (
+    PipelineTiming,
+    estimate_throughput,
+    pipeline_kernels,
+)
+from repro.gpu.simulator import (
+    KernelLaunch,
+    SMConfig,
+    SM_CONFIGS,
+    occupancy,
+    simulate_kernel,
+    simulate_pipeline,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "A100_THETA",
+    "A40_JLSE",
+    "DEVICES",
+    "Kernel",
+    "kernel_time",
+    "PipelineTiming",
+    "estimate_throughput",
+    "pipeline_kernels",
+    "KernelLaunch",
+    "SMConfig",
+    "SM_CONFIGS",
+    "occupancy",
+    "simulate_kernel",
+    "simulate_pipeline",
+]

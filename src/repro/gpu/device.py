@@ -1,0 +1,45 @@
+"""Device specifications — the paper's Table I testbeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "A100_THETA", "A40_JLSE", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One GPU model, with the characteristics the roofline model uses.
+
+    ``mem_bw`` in GB/s, ``fp32_peak`` in TFLOPS, ``kernel_overhead_us`` the
+    fixed per-kernel launch + synchronization cost in microseconds.
+    """
+
+    name: str
+    testbed: str
+    mem_bw: float
+    fp32_peak: float
+    memory_gb: float
+    cuda_version: str
+    kernel_overhead_us: float = 8.0
+
+    @property
+    def mem_bw_bytes(self) -> float:
+        return self.mem_bw * 1e9
+
+    @property
+    def fp32_flops(self) -> float:
+        return self.fp32_peak * 1e12
+
+
+#: Table I: A100 (40 GB) on ALCF ThetaGPU
+A100_THETA = DeviceSpec(name="A100", testbed="ThetaGPU", mem_bw=1555.0,
+                        fp32_peak=19.49, memory_gb=40.0,
+                        cuda_version="11.4")
+
+#: Table I: A40 (48 GB) on ANL JLSE
+A40_JLSE = DeviceSpec(name="A40", testbed="JLSE", mem_bw=695.8,
+                      fp32_peak=37.42, memory_gb=48.0,
+                      cuda_version="11.8")
+
+DEVICES = {"a100": A100_THETA, "a40": A40_JLSE}

@@ -1,0 +1,49 @@
+"""Roofline kernel cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.gpu.device import DeviceSpec
+
+__all__ = ["Kernel", "kernel_time"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One GPU kernel launch in a compression pipeline.
+
+    ``bytes_read`` / ``bytes_written`` are DRAM traffic; ``mem_eff``
+    derates achievable bandwidth for access-pattern effects (1.0 =
+    perfectly coalesced streaming, lower for strided gathers and atomics);
+    ``flop_eff`` likewise for the FP pipeline; ``launches`` multiplies the
+    fixed per-kernel overhead for multi-stage kernels that must globally
+    synchronize between dependent stages (the spline levels of G-Interp).
+    """
+
+    name: str
+    bytes_read: float
+    bytes_written: float
+    flops: float = 0.0
+    mem_eff: float = 0.9
+    flop_eff: float = 0.5
+    launches: int = 1
+
+    def __post_init__(self):
+        if not 0 < self.mem_eff <= 1 or not 0 < self.flop_eff <= 1:
+            raise ConfigError("efficiencies must be in (0, 1]")
+        if self.bytes_read < 0 or self.bytes_written < 0 or self.flops < 0:
+            raise ConfigError("kernel volumes must be non-negative")
+        if self.launches < 1:
+            raise ConfigError("launches must be >= 1")
+
+
+def kernel_time(kernel: Kernel, device: DeviceSpec) -> float:
+    """Kernel execution time in seconds under the roofline + overhead."""
+    mem_t = (kernel.bytes_read + kernel.bytes_written) \
+        / (device.mem_bw_bytes * kernel.mem_eff)
+    flop_t = kernel.flops / (device.fp32_flops * kernel.flop_eff) \
+        if kernel.flops else 0.0
+    return max(mem_t, flop_t) + kernel.launches \
+        * device.kernel_overhead_us * 1e-6

@@ -1,0 +1,47 @@
+"""Coarse-grained (chunked) canonical Huffman codec (paper §VI-A).
+
+cuSZ / cuSZ-i encode quant-codes with a GPU Huffman pipeline: a histogram
+kernel (with thread-private top-k caching in cuSZ-i), a CPU-side codebook
+build (worthwhile because G-Interp concentrates the histogram into few
+entries), and coarse-grained encoding where each thread block owns a fixed
+chunk of symbols and writes an independently decodable bitstream.
+
+The NumPy transcription keeps exactly that structure: chunks are encoded
+into byte-aligned payloads via one vectorized bit scatter, and decoded by
+stepping all chunks *simultaneously* — one decoded symbol per chunk per
+step — which is the vectorized analogue of one-thread-block-per-chunk
+decoding.
+"""
+
+from repro.huffman.histogram import histogram, topk_coverage
+from repro.huffman.tree import code_lengths
+from repro.huffman.canonical import (
+    canonical_codebook,
+    build_decode_table,
+    MAX_CODE_LEN,
+)
+from repro.huffman.codec import (
+    huffman_encode,
+    huffman_decode,
+    HuffmanStream,
+)
+from repro.huffman.static import (
+    static_lengths,
+    best_static_profile,
+    STATIC_SPREADS,
+)
+
+__all__ = [
+    "histogram",
+    "topk_coverage",
+    "code_lengths",
+    "canonical_codebook",
+    "build_decode_table",
+    "MAX_CODE_LEN",
+    "huffman_encode",
+    "huffman_decode",
+    "HuffmanStream",
+    "static_lengths",
+    "best_static_profile",
+    "STATIC_SPREADS",
+]

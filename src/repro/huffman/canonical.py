@@ -1,0 +1,78 @@
+"""Canonical code assignment and the flat decode table.
+
+Canonical Huffman codes are fully determined by the per-symbol code
+*lengths*, so only the length array travels in the compressed stream. The
+decoder expands it into a ``2**MAX_CODE_LEN``-entry lookup table mapping any
+window of ``MAX_CODE_LEN`` bits to ``(symbol, code length)`` — one gather
+per decoded symbol, which is what makes the all-chunks-at-once decode loop
+in :mod:`repro.huffman.codec` fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CodecError
+from repro.common.scan import concat_ranges
+
+__all__ = ["canonical_codebook", "build_decode_table", "MAX_CODE_LEN"]
+
+#: Single flat-table decode requires bounded code lengths; 16 bits keeps the
+#: table at 64 Ki entries while supporting the 1024-symbol quant alphabet.
+MAX_CODE_LEN = 16
+
+
+def canonical_codebook(lengths: np.ndarray) -> np.ndarray:
+    """Assign canonical codewords given per-symbol lengths.
+
+    Returns a uint32 array of codewords (valid only where ``lengths > 0``).
+    Codes are assigned shortest-first, ties broken by symbol index — the
+    canonical convention, reproducible on both sides from lengths alone.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    if lengths.size and int(lengths.max()) > MAX_CODE_LEN:
+        raise CodecError(f"code length exceeds {MAX_CODE_LEN}")
+    codes = np.zeros(lengths.size, dtype=np.uint32)
+    used = np.flatnonzero(lengths)
+    if used.size == 0:
+        return codes
+    order = used[np.lexsort((used, lengths[used]))]
+    code = 0
+    prev_len = int(lengths[order[0]])
+    for s in order:
+        ln = int(lengths[s])
+        code <<= (ln - prev_len)
+        codes[s] = code
+        code += 1
+        prev_len = ln
+    if code > (1 << prev_len):
+        raise CodecError("length array violates the Kraft inequality")
+    return codes
+
+
+def build_decode_table(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand code lengths into the flat decode table.
+
+    Returns ``(symbols, lens)``: two ``2**MAX_CODE_LEN`` arrays such that
+    for any bit window ``w`` starting at a codeword boundary,
+    ``symbols[w]`` is the decoded symbol and ``lens[w]`` how many bits to
+    consume. Table slots not reachable from any codeword keep length 0 so a
+    corrupted stream is detected instead of looping forever.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    codes = canonical_codebook(lengths)
+    size = 1 << MAX_CODE_LEN
+    symbols = np.zeros(size, dtype=np.uint32)
+    lens = np.zeros(size, dtype=np.uint8)
+    used = np.flatnonzero(lengths)
+    if used.size == 0:
+        return symbols, lens
+    shifts = MAX_CODE_LEN - lengths[used]
+    starts = (codes[used].astype(np.int64) << shifts)
+    counts = (np.int64(1) << shifts)
+    # scatter each codeword across its table span
+    idx = np.repeat(starts, counts) + concat_ranges(counts)
+    symbols[idx] = np.repeat(used.astype(np.uint32), counts)
+    lens[idx] = np.repeat(lengths[used].astype(np.uint8), counts)
+    return symbols, lens
+

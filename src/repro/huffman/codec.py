@@ -1,0 +1,190 @@
+"""Coarse-grained chunked Huffman encode/decode (paper §VI-A).
+
+Encoding mirrors the cuSZ GPU encoder: the symbol stream is split into
+fixed-size chunks (one per thread block on the GPU); every chunk's bitstream
+starts on a byte boundary, and per-chunk bit lengths are recorded so chunks
+are independently decodable.
+
+* **Encode** is a single vectorized bit scatter: per-symbol bit positions
+  come from a prefix sum of code lengths, then one pass per bit index of the
+  longest codeword writes all symbols' bits at once.
+* **Decode** steps all chunks simultaneously — per step, one table lookup
+  and one advance per chunk — the direct NumPy analogue of the
+  one-thread-block-per-chunk GPU decoder.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import CodecError
+from repro.huffman.canonical import (MAX_CODE_LEN, build_decode_table,
+                                     canonical_codebook)
+from repro.huffman.histogram import histogram
+from repro.huffman.tree import code_lengths
+
+__all__ = ["huffman_encode", "huffman_decode", "HuffmanStream",
+           "DEFAULT_CHUNK"]
+
+DEFAULT_CHUNK = 2048
+_HDR = struct.Struct("<QIIII")  # n_symbols, alphabet, chunk_size, n_chunks, crc32
+
+
+@dataclass
+class HuffmanStream:
+    """A serialized chunked-Huffman stream."""
+
+    n_symbols: int
+    alphabet_size: int
+    chunk_size: int
+    lengths: np.ndarray      # uint8[alphabet] canonical code lengths
+    chunk_bits: np.ndarray   # uint32[n_chunks] payload bits per chunk
+    payload: np.ndarray      # uint8, concatenated byte-aligned chunks
+    crc32: int = 0           # checksum of the payload (corruption guard)
+
+    def to_bytes(self) -> bytes:
+        head = _HDR.pack(self.n_symbols, self.alphabet_size,
+                         self.chunk_size, int(self.chunk_bits.size),
+                         self.crc32)
+        return (head + self.lengths.astype(np.uint8).tobytes()
+                + self.chunk_bits.astype(np.uint32).tobytes()
+                + self.payload.tobytes())
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "HuffmanStream":
+        if len(blob) < _HDR.size:
+            raise CodecError("truncated Huffman stream header")
+        n_symbols, alphabet, chunk_size, n_chunks, crc = \
+            _HDR.unpack_from(blob, 0)
+        pos = _HDR.size
+        lengths = np.frombuffer(blob, np.uint8, alphabet, pos)
+        pos += alphabet
+        chunk_bits = np.frombuffer(blob, np.uint32, n_chunks, pos)
+        pos += 4 * n_chunks
+        payload = np.frombuffer(blob, np.uint8, offset=pos)
+        return cls(n_symbols=n_symbols, alphabet_size=alphabet,
+                   chunk_size=chunk_size, lengths=lengths,
+                   chunk_bits=chunk_bits, payload=payload, crc32=crc)
+
+    @property
+    def nbytes(self) -> int:
+        return (_HDR.size + self.lengths.size + 4 * self.chunk_bits.size
+                + self.payload.size)
+
+
+def huffman_encode(codes: np.ndarray, alphabet_size: int,
+                   chunk_size: int = DEFAULT_CHUNK,
+                   lengths: np.ndarray | None = None) -> HuffmanStream:
+    """Encode a symbol stream into a chunked canonical Huffman stream.
+
+    Passing prebuilt ``lengths`` (see :mod:`repro.huffman.static`) skips
+    the histogram and tree build — the paper's §VI-A speed direction — at
+    the cost of a slightly suboptimal code.
+    """
+    if chunk_size < 1:
+        raise CodecError("chunk size must be >= 1")
+    codes = np.asarray(codes, dtype=np.uint32).ravel()
+    n = codes.size
+    if lengths is None:
+        freqs = histogram(codes, alphabet_size)
+        lengths = code_lengths(freqs, MAX_CODE_LEN)
+    else:
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size != alphabet_size:
+            raise CodecError("static codebook size mismatch")
+        if n and int(lengths[codes].min(initial=1)) == 0:
+            raise CodecError("static codebook lacks a code for a symbol")
+    codebook = canonical_codebook(lengths)
+    if n == 0:
+        return HuffmanStream(0, alphabet_size, chunk_size,
+                             lengths.astype(np.uint8),
+                             np.empty(0, np.uint32), np.empty(0, np.uint8),
+                             crc32=0)
+
+    sym_len = lengths[codes]                       # int64 per-symbol lengths
+    sym_code = codebook[codes].astype(np.int64)
+    n_chunks = -(-n // chunk_size)
+    bounds = np.arange(0, n_chunks * chunk_size, chunk_size)
+
+    cum = np.cumsum(sym_len)
+    start_global = cum - sym_len                   # bit offset if unchunked
+    chunk_first = start_global[bounds]             # first symbol's offset
+    ends = np.minimum(bounds + chunk_size, n)
+    chunk_bits = (cum[ends - 1] - chunk_first).astype(np.uint32)
+    chunk_bytes = -(-chunk_bits.astype(np.int64) // 8)
+    chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
+
+    within = start_global - np.repeat(chunk_first, ends - bounds)
+    pos = within + np.repeat(chunk_byte_off[:-1] * 8, ends - bounds)
+
+    total_bytes = int(chunk_byte_off[-1])
+    bits = np.zeros(total_bytes * 8, dtype=np.uint8)
+    max_len = int(sym_len.max())
+    for b in range(max_len):
+        mask = sym_len > b
+        shift = sym_len[mask] - 1 - b
+        bits[pos[mask] + b] = ((sym_code[mask] >> shift) & 1).astype(np.uint8)
+    payload = np.packbits(bits) if total_bytes else np.empty(0, np.uint8)
+    return HuffmanStream(n_symbols=n, alphabet_size=alphabet_size,
+                         chunk_size=chunk_size,
+                         lengths=lengths.astype(np.uint8),
+                         chunk_bits=chunk_bits, payload=payload,
+                         crc32=zlib.crc32(payload.tobytes()))
+
+
+def huffman_decode(stream: HuffmanStream) -> np.ndarray:
+    """Decode a :class:`HuffmanStream` back into its uint32 symbol array."""
+    n = stream.n_symbols
+    if n == 0:
+        return np.empty(0, dtype=np.uint32)
+    chunk_size = stream.chunk_size
+    n_chunks = int(stream.chunk_bits.size)
+    if n_chunks != -(-n // chunk_size):
+        raise CodecError("chunk count inconsistent with symbol count")
+    table_sym, table_len = build_decode_table(stream.lengths)
+
+    if zlib.crc32(np.ascontiguousarray(stream.payload).tobytes()) \
+            != stream.crc32:
+        raise CodecError("Huffman payload checksum mismatch")
+    chunk_bytes = -(-stream.chunk_bits.astype(np.int64) // 8)
+    chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
+    if int(chunk_byte_off[-1]) != stream.payload.size:
+        raise CodecError("payload size mismatch")
+    # pad so 4-byte windows never read past the end
+    pay = np.concatenate(
+        [stream.payload, np.zeros(4, np.uint8)]).astype(np.uint32)
+
+    counts = np.full(n_chunks, chunk_size, dtype=np.int64)
+    counts[-1] = n - chunk_size * (n_chunks - 1)
+    bitpos = chunk_byte_off[:-1] * 8
+    bit_end = bitpos + stream.chunk_bits.astype(np.int64)
+
+    out = np.zeros((n_chunks, chunk_size), dtype=np.uint32)
+    full = int(counts.min())
+    shift_base = 32 - MAX_CODE_LEN
+    mask = (1 << MAX_CODE_LEN) - 1
+    active = np.arange(n_chunks)
+    for step in range(chunk_size):
+        if step == full:
+            active = np.flatnonzero(counts > step)
+        elif step > full:
+            active = active[counts[active] > step]
+        if active.size == 0:
+            break
+        bp = bitpos[active]
+        byte = np.minimum(bp >> 3, pay.size - 4)  # drift-safe gather
+        word = ((pay[byte] << 24) | (pay[byte + 1] << 16)
+                | (pay[byte + 2] << 8) | pay[byte + 3])
+        window = (word >> (shift_base - (bp & 7)).astype(np.uint32)) & mask
+        ln = table_len[window]
+        if np.any(ln == 0):
+            raise CodecError("corrupt Huffman payload (invalid codeword)")
+        out[active, step] = table_sym[window]
+        bitpos[active] = bp + ln
+    if np.any(bitpos != bit_end):
+        raise CodecError("chunk bit counts do not match decoded stream")
+    return out.ravel()[:n]

@@ -1,0 +1,54 @@
+"""Quant-code histogram (the first Huffman stage, paper §VI-A).
+
+On the GPU, cuSZ-i accelerates this stage by caching the counts of the
+center top-k quant-codes in thread-private registers, because G-Interp
+concentrates nearly all codes into a tiny band around the zero bin. The
+counting result is identical either way; :func:`topk_coverage` measures how
+concentrated a code stream is, which both justifies the optimization and
+feeds the GPU performance model's histogram-kernel cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CodecError
+
+__all__ = ["histogram", "topk_coverage"]
+
+
+def histogram(codes: np.ndarray, alphabet_size: int) -> np.ndarray:
+    """Exact counts of each symbol in ``[0, alphabet_size)``.
+
+    Raises if any code falls outside the alphabet — a corrupted stream must
+    fail loudly rather than silently skew the codebook.
+    """
+    if alphabet_size < 1:
+        raise CodecError("alphabet size must be >= 1")
+    codes = np.asarray(codes).ravel()
+    if codes.size == 0:
+        return np.zeros(alphabet_size, dtype=np.int64)
+    if codes.min() < 0 or codes.max() >= alphabet_size:
+        raise CodecError("symbol outside alphabet")
+    return np.bincount(codes, minlength=alphabet_size).astype(np.int64)
+
+
+def topk_coverage(counts: np.ndarray, center: int, k: int) -> float:
+    """Fraction of all symbols covered by the ``k`` codes centered on
+    ``center`` (the zero-error bin).
+
+    cuSZ-i's register-private histogram caching pays off when this fraction
+    is close to 1; with ``k`` falling back to 1 it still helps for highly
+    compressible data (§VI-A). The GPU performance model uses this value to
+    scale the histogram kernel's shared-memory traffic.
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 1.0
+    if k < 1:
+        raise CodecError("k must be >= 1")
+    half = k // 2
+    lo = max(0, center - half)
+    hi = min(counts.size, lo + k)
+    return float(counts[lo:hi].sum() / total)

@@ -1,0 +1,93 @@
+"""Huffman tree construction with length limiting.
+
+The codebook is built on the CPU (paper §VI-A: with G-Interp's concentrated
+histograms, a GPU tree build is not worthwhile; cuSZ-i moves it host-side at
+~200 us end-to-end). We build the optimal tree with a heap, then limit code
+lengths to :data:`repro.huffman.canonical.MAX_CODE_LEN` so the decoder can
+use a single flat lookup table — the standard trick of clamping and then
+restoring the Kraft inequality by lengthening the cheapest (least frequent)
+short codes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+
+import numpy as np
+
+from repro.common.errors import CodecError
+
+__all__ = ["code_lengths"]
+
+
+def _tree_lengths(freqs: np.ndarray) -> np.ndarray:
+    """Unrestricted optimal code lengths for the nonzero-frequency symbols."""
+    sym = np.flatnonzero(freqs)
+    lengths = np.zeros(freqs.size, dtype=np.int64)
+    if sym.size == 0:
+        return lengths
+    if sym.size == 1:
+        lengths[sym[0]] = 1  # a lone symbol still needs one bit per element
+        return lengths
+    # heap of (weight, tiebreak, leaf-symbol-list)... tracking depth instead:
+    # classic two-queue/heap merge, accumulating +1 depth to merged subtrees.
+    tiebreak = count()
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(freqs[s]), next(tiebreak), [int(s)]) for s in sym
+    ]
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        w1, _, l1 = heapq.heappop(heap)
+        w2, _, l2 = heapq.heappop(heap)
+        for s in l1:
+            lengths[s] += 1
+        for s in l2:
+            lengths[s] += 1
+        heapq.heappush(heap, (w1 + w2, next(tiebreak), l1 + l2))
+    return lengths
+
+
+def code_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
+    """Length-limited Huffman code lengths per symbol (0 = unused symbol).
+
+    Builds the optimal tree, clamps any over-long codes to ``max_len``, then
+    repairs the Kraft sum by incrementing the lengths of the least frequent
+    symbols until the code is realizable. Guaranteed to terminate whenever
+    the alphabet fits in ``max_len`` bits.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64).ravel()
+    if np.any(freqs < 0):
+        raise CodecError("negative frequency")
+    n_used = int(np.count_nonzero(freqs))
+    if n_used > (1 << max_len):
+        raise CodecError(
+            f"{n_used} symbols cannot fit in {max_len}-bit codes")
+    lengths = _tree_lengths(freqs)
+    if n_used == 0:
+        return lengths
+    over = lengths > max_len
+    if not np.any(over):
+        return lengths
+    lengths[over] = max_len
+
+    # Kraft sum in units of 2^-max_len; must come down to <= 2^max_len.
+    unit = 1 << max_len
+    kraft = int(np.sum((unit >> lengths[lengths > 0]).astype(np.int64)))
+    if kraft > unit:
+        # lengthen least-frequent symbols first; each +1 on a symbol of
+        # length l releases 2^(max_len - l - 1) units.
+        order = np.flatnonzero(freqs)
+        order = order[np.argsort(freqs[order], kind="stable")]
+        while kraft > unit:
+            progressed = False
+            for s in order:
+                if lengths[s] < max_len:
+                    kraft -= unit >> (lengths[s] + 1)
+                    lengths[s] += 1
+                    progressed = True
+                    if kraft <= unit:
+                        break
+            if not progressed:  # pragma: no cover - guarded by n_used check
+                raise CodecError("cannot satisfy Kraft inequality")
+    return lengths

@@ -1,0 +1,61 @@
+"""Lossless de-redundancy encoders.
+
+Three encoders live here, each matching a role from the paper:
+
+* :mod:`repro.lossless.gle` — "GPU Lossless Encoder", the stand-in for
+  NVIDIA Bitcomp-lossless (§VI-B): a pattern-canceling pass over already
+  entropy-coded bytes (word run-length + per-block bit-width reduction),
+  built from scan/compact primitives that map 1:1 onto GPU kernels.
+* :mod:`repro.lossless.bitshuffle` — the bit-transpose stage of FZ-GPU.
+* :mod:`repro.lossless.zstd_like` — zlib wrapper standing in for the Zstd
+  stage of the CPU compressors (SZ3/QoZ).
+
+All expose ``compress_bytes`` / ``decompress_bytes`` and are registered by
+name for pipeline configuration.
+"""
+
+from repro.lossless.gle import GLECodec, gle_compress, gle_decompress
+from repro.lossless.bitshuffle import bitshuffle, bitunshuffle
+from repro.lossless.zstd_like import ZlibCodec
+
+from repro.common.errors import ConfigError
+
+
+class _Passthrough:
+    """No-op lossless stage (the "without Bitcomp" pipeline variant)."""
+
+    name = "none"
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return bytes(data)
+
+    def decompress_bytes(self, blob: bytes) -> bytes:
+        return bytes(blob)
+
+
+_CODECS = {
+    "none": _Passthrough,
+    "gle": GLECodec,
+    "zlib": ZlibCodec,
+}
+
+
+def get_lossless(name: str):
+    """Instantiate a registered lossless codec by name."""
+    try:
+        return _CODECS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown lossless codec {name!r}; choose from "
+            f"{sorted(_CODECS)}")
+
+
+__all__ = [
+    "GLECodec",
+    "gle_compress",
+    "gle_decompress",
+    "bitshuffle",
+    "bitunshuffle",
+    "ZlibCodec",
+    "get_lossless",
+]

@@ -1,0 +1,53 @@
+"""Bit-shuffle transform (the FZ-GPU lossless front end).
+
+FZ-GPU replaces cuSZ's Huffman stage with a bit-shuffle followed by
+zero-block dedup: transposing the bit matrix of 16-bit quant-codes gathers
+the (almost always zero) high-order bit planes into long zero byte runs that
+the dedup stage then drops. On the GPU this is a warp shuffle; here it is an
+``unpackbits -> transpose -> packbits`` round trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CodecError
+
+__all__ = ["bitshuffle", "bitunshuffle"]
+
+
+def bitshuffle(values: np.ndarray) -> np.ndarray:
+    """Transpose the bit matrix of an unsigned-integer array.
+
+    Input of ``n`` values of ``w``-bit width becomes a uint8 stream of
+    ``n*w/8`` bytes laid out plane-major: all values' bit ``w-1`` first,
+    then bit ``w-2``, etc.
+    """
+    values = np.asarray(values)
+    if values.dtype not in (np.uint8, np.uint16, np.uint32, np.uint64):
+        raise CodecError(f"bitshuffle expects unsigned ints, got "
+                         f"{values.dtype}")
+    n = values.size
+    if n == 0:
+        return np.empty(0, dtype=np.uint8)
+    width = values.dtype.itemsize * 8
+    # big-endian byte view so unpackbits yields MSB-first bit columns
+    be = values.ravel().astype(values.dtype.newbyteorder(">"))
+    bits = np.unpackbits(be.view(np.uint8)).reshape(n, width)
+    return np.packbits(bits.T.ravel())
+
+
+def bitunshuffle(stream: np.ndarray, dtype: np.dtype,
+                 count: int) -> np.ndarray:
+    """Invert :func:`bitshuffle` given the element dtype and count."""
+    dtype = np.dtype(dtype)
+    width = dtype.itemsize * 8
+    if count == 0:
+        return np.empty(0, dtype=dtype)
+    stream = np.asarray(stream, dtype=np.uint8)
+    total_bits = count * width
+    if stream.size * 8 < total_bits:
+        raise CodecError("bitshuffle stream too short")
+    planes = np.unpackbits(stream, count=total_bits).reshape(width, count)
+    packed = np.packbits(planes.T.ravel())
+    return packed.view(dtype.newbyteorder(">"))[:count].astype(dtype)

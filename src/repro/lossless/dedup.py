@@ -1,0 +1,59 @@
+"""Zero-block deduplication (the FZ-GPU lossless back end).
+
+After bit-shuffling, the high-order bit planes of quant-codes are almost
+entirely zero bytes. FZ-GPU's dictionary-free "dedup" drops fixed-size
+zero blocks, keeping only a presence bitmap plus the nonzero literals — a
+pure compaction that maps to one GPU scan + scatter.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.common.errors import CodecError
+
+__all__ = ["dedup_zero_blocks", "restore_zero_blocks", "DEDUP_BLOCK"]
+
+#: bytes per dedup unit
+DEDUP_BLOCK = 32
+
+_HDR = struct.Struct("<QI")  # original length, n_blocks
+
+
+def dedup_zero_blocks(data: bytes, block: int = DEDUP_BLOCK) -> bytes:
+    """Drop all-zero ``block``-byte units, keeping a bitmap + literals."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    n = arr.size
+    n_blocks = -(-n // block) if n else 0
+    pad = n_blocks * block - n
+    if pad:
+        arr = np.concatenate([arr, np.zeros(pad, np.uint8)])
+    blocks = arr.reshape(n_blocks, block) if n_blocks else \
+        arr.reshape(0, block)
+    nonzero = blocks.any(axis=1)
+    bitmap = np.packbits(nonzero.astype(np.uint8))
+    literals = blocks[nonzero]
+    return (_HDR.pack(n, n_blocks) + bitmap.tobytes()
+            + literals.tobytes())
+
+
+def restore_zero_blocks(blob: bytes, block: int = DEDUP_BLOCK) -> bytes:
+    """Invert :func:`dedup_zero_blocks`."""
+    if len(blob) < _HDR.size:
+        raise CodecError("truncated dedup header")
+    n, n_blocks = _HDR.unpack_from(blob, 0)
+    pos = _HDR.size
+    nbm = -(-n_blocks // 8)
+    bitmap = np.frombuffer(blob, np.uint8, nbm, pos)
+    pos += nbm
+    nonzero = np.unpackbits(bitmap, count=n_blocks).astype(bool)
+    n_lit = int(nonzero.sum())
+    literals = np.frombuffer(blob, np.uint8, n_lit * block, pos)
+    pos += n_lit * block
+    if pos != len(blob):
+        raise CodecError("trailing bytes in dedup frame")
+    out = np.zeros((n_blocks, block), dtype=np.uint8)
+    out[nonzero] = literals.reshape(n_lit, block)
+    return out.ravel()[:n].tobytes()

@@ -1,0 +1,251 @@
+"""GLE — the Bitcomp-lossless stand-in (paper §VI-B).
+
+NVIDIA Bitcomp is proprietary; the paper uses it as a *repeated-pattern
+canceling* pass over Huffman output, whose gains come from the long runs of
+identical bytes that highly concentrated quant-codes leave behind (e.g.
+continuous ``0x00`` when the dominant code has a 1-bit codeword). GLE
+removes exactly that redundancy class with two GPU-friendly passes:
+
+1. **Word RLE** — the stream is viewed as 32-bit words; maximal runs of a
+   repeated word with length >= ``MIN_RUN`` become ``(value, count)``
+   tokens, everything else is grouped into literal segments. Run detection
+   is a diff + compact (GPU: ballot/scan), reconstruction a ``repeat``
+   (GPU: scatter after exclusive scan).
+2. **Block bit-width reduction** — the literal bytes are split into
+   fixed-size blocks; each block is packed at the minimal bit width of its
+   bytes (GPU: per-block reduce + shuffle pack). Blocks of entropy-coded
+   bytes typically stay at width 8 (1-byte header overhead per block);
+   sparse structures (chunk-length tables, anchor mantissa tails) shrink.
+
+The encoder never expands beyond a 17-byte frame + ~0.4%: if a stage does
+not pay for itself it is marked stored-as-is in the frame flags.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.common.bitpack import bit_length, pack_uint, unpack_uint
+from repro.common.errors import CodecError
+from repro.common.scan import concat_ranges
+
+__all__ = ["gle_compress", "gle_decompress", "GLECodec",
+           "MIN_RUN", "PACK_BLOCK"]
+
+#: A run of identical 32-bit words must be at least this long to tokenize.
+MIN_RUN = 4
+#: Block size (bytes) for the bit-width reduction pass.
+PACK_BLOCK = 512
+
+_FRAME = struct.Struct("<4sBQI")  # magic, flags, orig length, crc32
+_MAGIC = b"GLE1"
+_FLAG_RLE = 1
+_FLAG_PACK = 2
+
+_RLE_HDR = struct.Struct("<II")  # n_tokens, n_literal_words
+_RUN_BIT = np.uint32(0x80000000)
+
+
+def _word_rle_encode(data: bytes) -> bytes | None:
+    """Stage 1 encode. Returns None when RLE would not shrink the stream."""
+    pad = (-len(data)) % 4
+    padded = data + b"\x00" * pad
+    words = np.frombuffer(padded, dtype=np.uint32)
+    n = words.size
+    if n == 0:
+        return None
+    # maximal runs: boundaries where the word changes
+    change = np.empty(n, dtype=bool)
+    change[0] = True
+    np.not_equal(words[1:], words[:-1], out=change[1:])
+    starts = np.flatnonzero(change)
+    counts = np.diff(np.append(starts, n))
+    values = words[starts]
+
+    long = counts >= MIN_RUN
+    n_long = int(long.sum())
+    saved = int((counts[long] - 2).sum()) * 4  # each long run -> 2 words
+    if saved <= n_long * 2 + _RLE_HDR.size + 64:  # token overhead margin
+        return None
+
+    # group consecutive short runs into literal segments
+    kinds = long.astype(np.int8)
+    seg_break = np.empty(kinds.size, dtype=bool)
+    seg_break[0] = True
+    np.not_equal(kinds[1:], kinds[:-1], out=seg_break[1:])
+    seg_break |= kinds == 1  # every long run is its own segment
+    seg_starts = np.flatnonzero(seg_break)
+    seg_is_run = kinds[seg_starts] == 1
+    seg_end = np.append(seg_starts[1:], counts.size)
+    # words covered by each segment
+    cum_words = np.concatenate(([0], np.cumsum(counts)))
+    seg_words = cum_words[np.append(seg_starts[1:], counts.size)] \
+        - cum_words[seg_starts]
+    # token stream: u32 per segment with high bit = run flag, low 31 = word
+    # count; runs additionally carry their value; literals carry the words.
+    if np.any(seg_words >= 0x80000000):
+        return None  # absurdly long segment; bail to stored
+    tokens = seg_words.astype(np.uint32)
+    tokens[seg_is_run] |= _RUN_BIT
+    run_values = values[seg_starts[seg_is_run]]
+    # literal words: everything not inside a long run, in order
+    keep = np.repeat(~long, counts)
+    literal_words = words[keep]
+    del seg_end
+    out = (_RLE_HDR.pack(tokens.size, literal_words.size)
+           + tokens.tobytes() + run_values.tobytes()
+           + literal_words.tobytes())
+    if len(out) >= len(padded):
+        return None
+    return out
+
+
+def _word_rle_decode(blob: bytes, original_padded_len: int) -> bytes:
+    """Stage 1 decode back to the padded word stream."""
+    if len(blob) < _RLE_HDR.size:
+        raise CodecError("truncated GLE RLE header")
+    n_tokens, n_lit = _RLE_HDR.unpack_from(blob, 0)
+    pos = _RLE_HDR.size
+    tokens = np.frombuffer(blob, np.uint32, n_tokens, pos)
+    pos += 4 * n_tokens
+    is_run = (tokens & _RUN_BIT) != 0
+    seg_words = (tokens & ~_RUN_BIT).astype(np.int64)
+    n_runs = int(is_run.sum())
+    run_values = np.frombuffer(blob, np.uint32, n_runs, pos)
+    pos += 4 * n_runs
+    literal_words = np.frombuffer(blob, np.uint32, n_lit, pos)
+    pos += 4 * n_lit
+    if pos != len(blob):
+        raise CodecError("trailing bytes in GLE RLE frame")
+
+    total = int(seg_words.sum())
+    if total * 4 != original_padded_len:
+        raise CodecError("GLE RLE length mismatch")
+    out = np.empty(total, dtype=np.uint32)
+    seg_off = np.concatenate(([0], np.cumsum(seg_words)))
+    # runs: repeat values across their spans
+    run_off = seg_off[:-1][is_run]
+    run_len = seg_words[is_run]
+    if n_runs:
+        idx = np.repeat(run_off, run_len) + concat_ranges(run_len)
+        out[idx] = np.repeat(run_values, run_len)
+    # literals: contiguous copy per segment
+    lit_off = seg_off[:-1][~is_run]
+    lit_len = seg_words[~is_run]
+    if n_lit:
+        idx = np.repeat(lit_off, lit_len) + concat_ranges(lit_len)
+        if idx.size != literal_words.size:
+            raise CodecError("GLE literal count mismatch")
+        out[idx] = literal_words
+    return out.tobytes()
+
+
+
+def _pack_encode(data: bytes) -> bytes | None:
+    """Stage 2 encode: per-block byte bit-width packing."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    n = arr.size
+    if n == 0:
+        return None
+    n_blocks = -(-n // PACK_BLOCK)
+    pad = n_blocks * PACK_BLOCK - n
+    if pad:
+        arr = np.concatenate([arr, np.zeros(pad, np.uint8)])
+    blocks = arr.reshape(n_blocks, PACK_BLOCK)
+    widths = bit_length(blocks.max(axis=1))
+    packed_bits = widths.astype(np.int64) * PACK_BLOCK
+    est = n_blocks + int(np.sum(-(-packed_bits // 8)))
+    if est >= n:
+        return None
+    parts = [struct.pack("<QI", n, n_blocks), widths.tobytes()]
+    # group blocks by width so each group is one vectorized pack
+    for w in range(0, 9):
+        sel = widths == w
+        if not np.any(sel) or w == 0:
+            continue
+        parts.append(pack_uint(blocks[sel].ravel(), w).tobytes())
+    out = b"".join(parts)
+    if len(out) >= n:
+        return None
+    return out
+
+
+def _pack_decode(blob: bytes) -> bytes:
+    """Stage 2 decode."""
+    if len(blob) < 12:
+        raise CodecError("truncated GLE pack header")
+    n, n_blocks = struct.unpack_from("<QI", blob, 0)
+    pos = 12
+    widths = np.frombuffer(blob, np.uint8, n_blocks, pos)
+    pos += n_blocks
+    out = np.zeros((n_blocks, PACK_BLOCK), dtype=np.uint8)
+    for w in range(1, 9):
+        sel = widths == w
+        cnt = int(sel.sum())
+        if cnt == 0:
+            continue
+        nbytes = -(-cnt * PACK_BLOCK * w // 8)
+        chunk = np.frombuffer(blob, np.uint8, nbytes, pos)
+        pos += nbytes
+        vals = unpack_uint(chunk, w, cnt * PACK_BLOCK)
+        out[sel] = vals.reshape(cnt, PACK_BLOCK).astype(np.uint8)
+    if pos != len(blob):
+        raise CodecError("trailing bytes in GLE pack frame")
+    return out.ravel()[:n].tobytes()
+
+
+def gle_compress(data: bytes) -> bytes:
+    """Compress arbitrary bytes with the two-stage GLE scheme.
+
+    The frame records which stages actually ran, so incompressible input
+    costs only the 13-byte frame header.
+    """
+    data = bytes(data)
+    flags = 0
+    stage = data
+    rle = _word_rle_encode(stage)
+    if rle is not None:
+        stage = rle
+        flags |= _FLAG_RLE
+    packed = _pack_encode(stage)
+    if packed is not None:
+        stage = packed
+        flags |= _FLAG_PACK
+    return _FRAME.pack(_MAGIC, flags, len(data),
+                       zlib.crc32(data)) + stage
+
+
+def gle_decompress(blob: bytes) -> bytes:
+    """Invert :func:`gle_compress`."""
+    if len(blob) < _FRAME.size:
+        raise CodecError("truncated GLE frame")
+    magic, flags, orig_len, crc = _FRAME.unpack_from(blob, 0)
+    if magic != _MAGIC:
+        raise CodecError("bad GLE magic")
+    stage = blob[_FRAME.size:]
+    if flags & _FLAG_PACK:
+        stage = _pack_decode(stage)
+    if flags & _FLAG_RLE:
+        padded_len = orig_len + ((-orig_len) % 4)
+        stage = _word_rle_decode(stage, padded_len)
+    if len(stage) < orig_len:
+        raise CodecError("GLE frame shorter than recorded length")
+    out = bytes(stage[:orig_len])
+    if zlib.crc32(out) != crc:
+        raise CodecError("GLE payload checksum mismatch (corrupt frame)")
+    return out
+
+
+class GLECodec:
+    """Object wrapper satisfying the lossless-codec protocol."""
+
+    name = "gle"
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return gle_compress(data)
+
+    def decompress_bytes(self, blob: bytes) -> bytes:
+        return gle_decompress(blob)

@@ -1,0 +1,35 @@
+"""Dictionary de-redundancy stage for the CPU reference compressors.
+
+CPU SZ3 and QoZ finish with Zstd; Zstd is unavailable offline, so the
+stdlib's zlib (same LZ77+entropy family, lower ratio/speed) stands in. The
+substitution is recorded in DESIGN.md §1; only the CPU baselines use it, so
+it does not touch any GPU-side result.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.common.errors import CodecError
+
+__all__ = ["ZlibCodec"]
+
+
+class ZlibCodec:
+    """zlib wrapper with the common lossless-codec protocol."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6):
+        if not 1 <= level <= 9:
+            raise CodecError(f"zlib level must be 1..9, got {level}")
+        self.level = level
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        return zlib.compress(bytes(data), self.level)
+
+    def decompress_bytes(self, blob: bytes) -> bytes:
+        try:
+            return zlib.decompress(bytes(blob))
+        except zlib.error as exc:
+            raise CodecError(f"zlib decode failed: {exc}")

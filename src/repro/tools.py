@@ -1,0 +1,100 @@
+"""Calibration utilities: hit a target ratio or PSNR by knob search.
+
+The paper's Fig. 8 aligns compressors at a fixed compression ratio; users
+more often have a quality target ("give me >= 80 dB as small as possible").
+Both are monotone in the codec's knob (error bound, or rate for cuZFP), so
+geometric bisection converges in a few compressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.metrics import psnr
+from repro.registry import get_compressor
+
+__all__ = ["calibrate_to_ratio", "calibrate_to_psnr"]
+
+
+def _make(codec: str, knob: float, lossless: str, mode: str = "rel"):
+    if codec == "cuzfp":
+        return get_compressor(codec, rate=knob, lossless=lossless)
+    return get_compressor(codec, eb=knob, mode=mode, lossless=lossless)
+
+
+def calibrate_to_ratio(codec: str, data: np.ndarray, target_cr: float,
+                       lossless: str = "gle", tol: float = 0.08,
+                       max_iter: int = 18) -> tuple[bytes, float, float]:
+    """Bisect the codec's knob until the CR is within ``tol`` of target.
+
+    Returns ``(blob, achieved_cr, knob)``; if the target is unreachable in
+    the knob range, the closest achieved point is returned.
+    """
+    if target_cr <= 1:
+        raise ConfigError("target ratio must exceed 1")
+    if codec == "cuzfp":
+        lo, hi = 0.35, 16.0       # rate: larger -> smaller CR
+    else:
+        lo, hi = 1e-6, 0.5        # rel eb: larger -> larger CR
+    best = None
+    for _ in range(max_iter):
+        mid = (lo * hi) ** 0.5
+        blob = _make(codec, mid, lossless).compress(data)
+        cr = data.nbytes / len(blob)
+        if best is None or abs(cr - target_cr) < abs(best[1] - target_cr):
+            best = (blob, cr, mid)
+        if abs(cr - target_cr) / target_cr <= tol:
+            break
+        if codec == "cuzfp":
+            if cr < target_cr:
+                hi = mid
+            else:
+                lo = mid
+        else:
+            if cr < target_cr:
+                lo = mid
+            else:
+                hi = mid
+    return best
+
+
+def calibrate_to_psnr(codec: str, data: np.ndarray, target_db: float,
+                      lossless: str = "gle", tol_db: float = 0.75,
+                      max_iter: int = 18) -> tuple[bytes, float, float]:
+    """Bisect the codec's knob until the PSNR is within ``tol_db`` of the
+    target (from above where possible).
+
+    Returns ``(blob, achieved_psnr, knob)``.
+    """
+    if codec == "cuzfp":
+        lo, hi = 0.35, 24.0       # rate: larger -> higher PSNR
+    else:
+        lo, hi = 1e-7, 0.5        # rel eb: larger -> lower PSNR
+    best = None
+    for _ in range(max_iter):
+        mid = (lo * hi) ** 0.5
+        comp = _make(codec, mid, lossless)
+        blob = comp.compress(data)
+        quality = psnr(data, comp.decompress(blob))
+        # prefer meeting the target with the smallest blob
+        meets = quality >= target_db - tol_db
+        if best is None:
+            best = (blob, quality, mid)
+        else:
+            _, bq, _ = best
+            if (meets and (bq < target_db - tol_db
+                           or len(blob) < len(best[0]))) \
+                    or (not meets and bq < target_db - tol_db
+                        and quality > bq):
+                best = (blob, quality, mid)
+        if abs(quality - target_db) <= tol_db:
+            break
+        too_good = quality > target_db
+        if codec == "cuzfp":
+            hi = mid if too_good else hi
+            lo = lo if too_good else mid
+        else:
+            lo = mid if too_good else lo
+            hi = hi if too_good else mid
+    return best

@@ -1,0 +1,17 @@
+"""Distributed lossy data transmission case study (paper §VII-C.5)."""
+
+from repro.transfer.globus import (
+    TransferLink,
+    TransferPlan,
+    simulate_transfer,
+    THETA_TO_ANVIL,
+)
+from repro.transfer.pipeline import (
+    FileSpec,
+    PipelineSchedule,
+    pipelined_transfer,
+)
+
+__all__ = ["TransferLink", "TransferPlan", "simulate_transfer",
+           "THETA_TO_ANVIL", "FileSpec", "PipelineSchedule",
+           "pipelined_transfer"]

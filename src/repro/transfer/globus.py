@@ -1,0 +1,74 @@
+"""Globus-style inter-facility transfer simulator.
+
+The paper's case study (§VII-C.5) moves compressed archives between ALCF
+Theta-GPU and Purdue Anvil over a ~1 GB/s Globus link: total cost =
+compression on the source GPU + wire time of the compressed bytes +
+decompression on the destination GPU (local disk I/O is excluded, as in
+the paper). The simulator does that arithmetic with the GPU performance
+model's kernel times and the *measured* compressed sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.gpu.device import A100_THETA, DeviceSpec
+from repro.gpu.perfmodel import estimate_throughput
+
+__all__ = ["TransferLink", "TransferPlan", "simulate_transfer",
+           "THETA_TO_ANVIL"]
+
+
+@dataclass(frozen=True)
+class TransferLink:
+    """A managed wide-area transfer channel."""
+
+    name: str
+    bandwidth_gbps: float          # GB/s achievable end-to-end
+    setup_latency_s: float = 0.2   # per-transfer orchestration cost
+
+    def wire_time(self, nbytes: int) -> float:
+        """Seconds on the wire for one archive."""
+        if nbytes < 0:
+            raise ConfigError("negative payload")
+        return self.setup_latency_s + nbytes / (self.bandwidth_gbps * 1e9)
+
+
+#: the paper's measured ALCF Theta-GPU <-> Purdue Anvil Globus channel
+THETA_TO_ANVIL = TransferLink(name="ThetaGPU->Anvil (Globus)",
+                              bandwidth_gbps=1.0)
+
+
+@dataclass
+class TransferPlan:
+    """Cost breakdown of one compressed transfer."""
+
+    codec: str
+    compress_s: float
+    wire_s: float
+    decompress_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compress_s + self.wire_s + self.decompress_s
+
+
+def simulate_transfer(codec: str, n_elements: int, compressed_bytes: int,
+                      link: TransferLink = THETA_TO_ANVIL,
+                      src_device: DeviceSpec = A100_THETA,
+                      dst_device: DeviceSpec = A100_THETA,
+                      lossless: str = "gle") -> TransferPlan:
+    """Model one archive's end-to-end transfer time.
+
+    ``compressed_bytes`` comes from an actual compression run; GPU times
+    from the performance model; wire time from the link.
+    """
+    comp = estimate_throughput(codec, "compress", n_elements,
+                               compressed_bytes, src_device, lossless)
+    decomp = estimate_throughput(codec, "decompress", n_elements,
+                                 compressed_bytes, dst_device, lossless)
+    return TransferPlan(codec=codec,
+                        compress_s=comp.total_seconds,
+                        wire_s=link.wire_time(compressed_bytes),
+                        decompress_s=decomp.total_seconds)

@@ -1,0 +1,67 @@
+"""Shared fixtures and field factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+#: Lorenzo-family codecs reconstruct through float32 scaling, which can
+#: exceed the bound by one ulp of the value magnitude (same as real cuSZ);
+#: tests allow this much slack.
+EB_SLACK = 1.0 + 1e-3
+
+
+def smooth_field(shape=(40, 44, 36), seed=0, scale=4.0):
+    """Band-limited smooth float32 test field (cheap, no FFT)."""
+    rng = np.random.default_rng(seed)
+    coarse_shape = tuple(max(2, s // int(scale)) for s in shape)
+    coarse = rng.standard_normal(coarse_shape)
+    from scipy.ndimage import zoom
+    factors = [s / c for s, c in zip(shape, coarse_shape)]
+    out = zoom(coarse, factors, order=3)
+    out = out[tuple(slice(0, s) for s in shape)]
+    pad = [(0, s - o) for s, o in zip(shape, out.shape)]
+    if any(p[1] for p in pad):
+        out = np.pad(out, pad, mode="edge")
+    return np.ascontiguousarray(out, dtype=np.float32)
+
+
+def rough_field(shape=(40, 44, 36), seed=1):
+    """White-noise float32 field — the adversarial case for predictors."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(shape).astype(np.float32)
+
+
+def structured_field(shape=(40, 44, 36), seed=2):
+    """Smooth background plus a sharp interface (tests outlier paths)."""
+    base = smooth_field(shape, seed)
+    phi = smooth_field(shape, seed + 1, scale=8.0)
+    return (base + 3.0 * np.tanh(phi / 0.05)).astype(np.float32)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def field3d():
+    return smooth_field()
+
+
+@pytest.fixture
+def field2d():
+    return smooth_field((64, 48))
+
+
+@pytest.fixture
+def field1d():
+    return smooth_field((300,))
+
+
+def assert_error_bounded(original, reconstructed, abs_eb, slack=EB_SLACK):
+    """The paper's core correctness contract."""
+    err = np.max(np.abs(original.astype(np.float64)
+                        - reconstructed.astype(np.float64)))
+    assert err <= abs_eb * slack, \
+        f"max error {err:.3e} exceeds bound {abs_eb:.3e}"

@@ -1,0 +1,142 @@
+"""Unit tests for the error-analysis toolkit and the ratio estimators."""
+
+import numpy as np
+import pytest
+
+from conftest import smooth_field
+from repro.analysis import (error_autocorrelation, error_histogram,
+                            error_statistics, spectral_ratio)
+from repro.common.errors import ConfigError, DataError
+from repro.estimate import (code_entropy, estimate_ratio, recommend_codec)
+from repro.registry import get_compressor
+
+
+@pytest.fixture(scope="module")
+def pair():
+    data = smooth_field((40, 40, 40), seed=130)
+    comp = get_compressor("cuszi", eb=1e-3, mode="rel")
+    recon = comp.decompress(comp.compress(data))
+    rng = float(data.max() - data.min())
+    return data, recon, 1e-3 * rng
+
+
+class TestErrorStatistics:
+    def test_basic_fields(self, pair):
+        data, recon, eb = pair
+        stats = error_statistics(data, recon, abs_eb=eb)
+        assert 0 < stats.max_abs <= eb * 1.001
+        assert stats.rmse <= stats.max_abs
+        assert stats.p50 <= stats.p99 <= stats.max_abs
+        assert 0.99 <= stats.bound_utilization <= 1.001
+        assert abs(stats.mean) < stats.rmse
+
+    def test_identical_pair(self):
+        d = smooth_field((16, 16, 16), seed=131)
+        stats = error_statistics(d, d)
+        assert stats.max_abs == 0
+        assert stats.zero_fraction == 1.0
+
+    def test_format(self, pair):
+        data, recon, eb = pair
+        text = error_statistics(data, recon, abs_eb=eb).format()
+        assert "bound-use" in text
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            error_statistics(np.zeros(4), np.zeros(5))
+
+
+class TestErrorHistogram:
+    def test_bounded_support(self, pair):
+        data, recon, eb = pair
+        counts, edges = error_histogram(data, recon, bins=32, abs_eb=eb)
+        assert counts.sum() == data.size
+        assert edges[0] == pytest.approx(-eb)
+        assert edges[-1] == pytest.approx(eb)
+
+    def test_quantizer_error_roughly_symmetric(self, pair):
+        data, recon, eb = pair
+        counts, _ = error_histogram(data, recon, bins=2, abs_eb=eb)
+        assert abs(counts[0] - counts[1]) < 0.2 * counts.sum()
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self, pair):
+        data, recon, _ = pair
+        ac = error_autocorrelation(data, recon, max_lag=4)
+        np.testing.assert_allclose(ac[:, 0], 1.0)
+
+    def test_white_noise_decays(self):
+        rng = np.random.default_rng(0)
+        d = smooth_field((32, 32, 32), seed=132)
+        noisy = d + rng.normal(0, 1e-3, d.shape).astype(np.float32)
+        ac = error_autocorrelation(d, noisy, max_lag=4)
+        assert np.abs(ac[:, 1:]).max() < 0.1
+
+    def test_structured_error_detected(self):
+        d = smooth_field((32, 32, 32), seed=133)
+        wave = 1e-3 * np.sin(np.arange(32) / 4.0)
+        biased = d + wave[:, None, None].astype(np.float32)
+        ac = error_autocorrelation(d, biased, max_lag=4)
+        assert ac[0, 1] > 0.8  # smooth artifact along axis 0
+
+    def test_axis_too_short(self):
+        d = np.zeros((4, 32), dtype=np.float32)
+        with pytest.raises(DataError):
+            error_autocorrelation(d, d + 1e-3, max_lag=8)
+
+
+class TestSpectralRatio:
+    def test_identity_pair_all_ones(self):
+        d = smooth_field((32, 32, 32), seed=134)
+        ratio = spectral_ratio(d, d, n_bands=8)
+        np.testing.assert_allclose(ratio, 1.0, atol=1e-10)
+
+    def test_lowpass_codec_damps_high_bands(self):
+        d = smooth_field((48, 48, 48), seed=135)
+        comp = get_compressor("cuzfp", rate=1.0)
+        recon = comp.decompress(comp.compress(d))
+        ratio = spectral_ratio(d, recon, n_bands=8)
+        assert ratio[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_band_count(self, pair):
+        data, recon, _ = pair
+        assert spectral_ratio(data, recon, n_bands=12).shape == (12,)
+
+
+class TestEstimators:
+    def test_entropy_known_values(self):
+        uniform = np.arange(256, dtype=np.uint32)
+        assert code_entropy(uniform, 256) == pytest.approx(8.0)
+        constant = np.zeros(100, dtype=np.uint32)
+        assert code_entropy(constant, 16) == 0.0
+
+    def test_estimate_tracks_actual(self):
+        data = smooth_field((48, 48, 48), seed=136, scale=5.0)
+        est = estimate_ratio(data, 1e-3, predictor="ginterp")
+        comp = get_compressor("cuszi", eb=1e-3, mode="rel",
+                              lossless="none")
+        actual = data.nbytes / len(comp.compress(data))
+        assert est.estimated_ratio == pytest.approx(actual, rel=0.45)
+
+    def test_estimate_monotone_in_eb(self):
+        data = smooth_field((40, 40, 40), seed=137)
+        loose = estimate_ratio(data, 1e-2).estimated_ratio
+        tight = estimate_ratio(data, 1e-4).estimated_ratio
+        assert loose > tight
+
+    def test_sampling_fraction(self):
+        data = smooth_field((64, 64, 64), seed=138)
+        est = estimate_ratio(data, 1e-3, max_elements=16 ** 3)
+        assert est.sample_fraction < 0.1
+
+    def test_unknown_predictor(self):
+        with pytest.raises(ConfigError):
+            estimate_ratio(smooth_field((16, 16, 16)), 1e-3,
+                           predictor="oracle")
+
+    def test_recommend_returns_valid_codec(self):
+        data = smooth_field((32, 32, 32), seed=139)
+        codec, est = recommend_codec(data, 1e-3)
+        assert codec in ("cuszi", "cusz")
+        assert est.estimated_ratio > 1

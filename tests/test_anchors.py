@@ -1,0 +1,51 @@
+"""Unit tests for anchor-point handling (paper §V-A)."""
+
+import numpy as np
+
+from repro.core.ginterp.anchors import (anchor_count, apply_anchors,
+                                        extract_anchors)
+
+
+class TestAnchors:
+    def test_extract_shape(self):
+        data = np.arange(17 * 9 * 9, dtype=np.float64).reshape(17, 9, 9)
+        anchors = extract_anchors(data, 8)
+        assert anchors.shape == (3, 2, 2)
+        assert anchors.dtype == np.float32
+
+    def test_extract_values(self):
+        data = np.arange(9, dtype=np.float64)
+        np.testing.assert_array_equal(extract_anchors(data, 8), [0.0, 8.0])
+
+    def test_extract_float64(self):
+        data = np.arange(9, dtype=np.float64) + 0.123456789012345
+        anchors = extract_anchors(data, 8, dtype=np.float64)
+        assert anchors.dtype == np.float64
+        np.testing.assert_array_equal(anchors, data[::8])
+
+    def test_apply_seeds_exactly(self):
+        work = np.zeros((9, 9))
+        anchors = np.full((2, 2), 3.25, dtype=np.float32)
+        apply_anchors(work, anchors, 8)
+        assert work[0, 0] == 3.25 and work[8, 8] == 3.25
+        assert work[4, 4] == 0.0  # non-anchor untouched
+
+    def test_roundtrip_float32_exact(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(17, 17)).astype(np.float64)
+        anchors = extract_anchors(data, 8)
+        work = np.zeros_like(data)
+        apply_anchors(work, anchors, 8)
+        # the seeded values are the float32 roundtrip of the originals
+        np.testing.assert_array_equal(
+            work[::8, ::8], data[::8, ::8].astype(np.float32))
+
+    def test_anchor_count(self):
+        assert anchor_count((17, 9, 9), 8) == 3 * 2 * 2
+        assert anchor_count((16, 9), 8) == 2 * 2
+        assert anchor_count((5,), 8) == 1
+
+    def test_anchor_fraction_is_paper_overhead(self):
+        # §V-A: ~1 of 512 elements becomes an anchor for 3D stride 8
+        n = anchor_count((257, 257, 257), 8)
+        assert n / 257 ** 3 < 1 / 512 * 1.1

@@ -1,0 +1,140 @@
+"""Unit tests for multi-field archives, calibration tools, and the
+pipelined transfer scheduler."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_error_bounded, smooth_field
+from repro.archive import (archive_info, load_archive, read_archive,
+                           save_archive, write_archive)
+from repro.common.errors import ConfigError, ContainerError
+from repro.common.metrics import psnr
+from repro.tools import calibrate_to_psnr, calibrate_to_ratio
+from repro.transfer import FileSpec, pipelined_transfer
+
+
+@pytest.fixture
+def fields():
+    return {
+        "density": smooth_field((20, 24, 16), seed=90),
+        "pressure": smooth_field((20, 24, 16), seed=91) * 10,
+        "velocity": smooth_field((16, 16, 16), seed=92),
+    }
+
+
+class TestArchive:
+    def test_roundtrip(self, fields):
+        blob = save_archive(fields, codec="cuszi", eb=1e-3, mode="rel")
+        back = load_archive(blob)
+        assert set(back) == set(fields)
+        for name, data in fields.items():
+            rng = float(data.max() - data.min())
+            assert_error_bounded(data, back[name], 1e-3 * rng)
+
+    def test_partial_load(self, fields):
+        blob = save_archive(fields, eb=1e-2)
+        back = load_archive(blob, fields=["pressure"])
+        assert list(back) == ["pressure"]
+
+    def test_per_field_overrides(self, fields):
+        blob = save_archive(fields, codec="cuszi", eb=1e-2, mode="rel",
+                            per_field={"pressure": {"eb": 1e-5},
+                                       "velocity": {"codec": "cusz"}})
+        info = archive_info(blob)
+        assert info["fields"]["velocity"]["codec"] == "cusz"
+        p = fields["pressure"]
+        rng = float(p.max() - p.min())
+        back = load_archive(blob)
+        assert_error_bounded(p, back["pressure"], 1e-5 * rng)
+
+    def test_info_totals(self, fields):
+        blob = save_archive(fields, eb=1e-3)
+        info = archive_info(blob)
+        raw = sum(d.nbytes for d in fields.values())
+        assert info["total_raw_nbytes"] == raw
+        assert info["ratio"] > 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            save_archive({})
+
+    def test_missing_field_rejected(self, fields):
+        blob = save_archive(fields, eb=1e-2)
+        with pytest.raises(ConfigError):
+            load_archive(blob, fields=["temperature"])
+
+    def test_not_an_archive_rejected(self, fields):
+        from repro import compress
+        blob = compress(fields["density"], eb=1e-2)
+        with pytest.raises(ContainerError):
+            archive_info(blob)
+
+    def test_file_io(self, fields, tmp_path):
+        path = tmp_path / "snap.rpa"
+        write_archive(str(path), fields, eb=1e-3)
+        back = read_archive(str(path), fields=["density"])
+        assert back["density"].shape == fields["density"].shape
+
+
+class TestCalibrators:
+    def test_ratio_target(self):
+        data = smooth_field((40, 40, 40), seed=93)
+        blob, cr, knob = calibrate_to_ratio("cuszi", data, 20.0)
+        assert cr == pytest.approx(20.0, rel=0.15)
+
+    def test_ratio_bad_target(self):
+        with pytest.raises(ConfigError):
+            calibrate_to_ratio("cusz", smooth_field((8, 8, 8)), 0.5)
+
+    def test_psnr_target_eb_codec(self):
+        data = smooth_field((32, 32, 32), seed=94)
+        blob, quality, knob = calibrate_to_psnr("cusz", data, 70.0,
+                                                lossless="none")
+        assert quality == pytest.approx(70.0, abs=2.0)
+
+    def test_psnr_target_cuzfp(self):
+        data = smooth_field((32, 32, 32), seed=95)
+        blob, quality, rate = calibrate_to_psnr("cuzfp", data, 55.0,
+                                                lossless="none")
+        assert quality == pytest.approx(55.0, abs=3.0)
+
+    def test_psnr_blob_is_decodable(self):
+        from repro import decompress
+        data = smooth_field((24, 24, 24), seed=96)
+        blob, quality, _ = calibrate_to_psnr("cuszi", data, 60.0)
+        assert psnr(data, decompress(blob)) == pytest.approx(quality)
+
+
+class TestPipelinedTransfer:
+    def _files(self, n=6, elements=512 ** 3, cr=20):
+        return [FileSpec(f"f{i}", elements, elements * 4 // cr)
+                for i in range(n)]
+
+    def test_makespan_bounded_by_serial(self):
+        sched = pipelined_transfer("cuszi", self._files())
+        assert sched.makespan <= sched.serial_time
+        assert sched.overlap_speedup >= 1.0
+
+    def test_overlap_hides_non_bottleneck_stages(self):
+        # with many files the makespan approaches the bottleneck stage sum
+        sched = pipelined_transfer("cuszi", self._files(n=24))
+        bottleneck = max(sum(c for _, c, _, _ in sched.stage_times),
+                         sum(w for _, _, w, _ in sched.stage_times),
+                         sum(d for _, _, _, d in sched.stage_times))
+        assert sched.makespan <= bottleneck * 1.2
+
+    def test_timeline_monotone(self):
+        sched = pipelined_transfer("cusz", self._files())
+        for (_, c, w, d) in sched.timeline:
+            assert c <= w <= d
+        ends = [t[3] for t in sched.timeline]
+        assert ends == sorted(ends)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            pipelined_transfer("cusz", [])
+
+    def test_higher_ratio_faster_end_to_end(self):
+        fast = pipelined_transfer("cuszi", self._files(cr=100))
+        slow = pipelined_transfer("cuszi", self._files(cr=5))
+        assert fast.makespan < slow.makespan

@@ -1,0 +1,102 @@
+"""Unit tests for repro.common.arrayutils."""
+
+import numpy as np
+import pytest
+
+from repro.common.arrayutils import (blocks_along, crop_to_shape, pad_to_grid,
+                                     validate_field, value_range)
+from repro.common.errors import DataError
+
+
+class TestValidateField:
+    def test_accepts_float32_3d(self):
+        d = np.zeros((4, 5, 6), dtype=np.float32)
+        out = validate_field(d)
+        assert out.shape == (4, 5, 6)
+
+    def test_accepts_float64(self):
+        out = validate_field(np.ones(10))
+        assert out.dtype == np.float64
+
+    def test_rejects_non_array(self):
+        with pytest.raises(DataError):
+            validate_field([1.0, 2.0])
+
+    def test_rejects_int_dtype(self):
+        with pytest.raises(DataError):
+            validate_field(np.zeros(4, dtype=np.int32))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            validate_field(np.zeros((0, 3), dtype=np.float32))
+
+    def test_rejects_nan(self):
+        d = np.zeros(8, dtype=np.float32)
+        d[3] = np.nan
+        with pytest.raises(DataError):
+            validate_field(d)
+
+    def test_rejects_inf(self):
+        d = np.zeros(8, dtype=np.float32)
+        d[0] = np.inf
+        with pytest.raises(DataError):
+            validate_field(d)
+
+    def test_rejects_4d(self):
+        with pytest.raises(DataError):
+            validate_field(np.zeros((2, 2, 2, 2), dtype=np.float32))
+
+    def test_makes_contiguous(self):
+        d = np.zeros((6, 6), dtype=np.float32)[::2]
+        out = validate_field(d)
+        assert out.flags.c_contiguous
+
+
+class TestPadToGrid:
+    def test_already_aligned(self):
+        d = np.zeros((9, 17), dtype=np.float32)
+        out = pad_to_grid(d, 8)
+        assert out is d  # untouched
+
+    def test_pads_up(self):
+        d = np.arange(10, dtype=np.float32)
+        out = pad_to_grid(d, 8)
+        assert out.shape == (17,)
+        assert out[-1] == d[-1]  # edge replication
+
+    def test_pad_multiple_axes(self):
+        # 5 and 9 are already k*4+1; 12 pads up to 13
+        d = np.zeros((5, 9, 12), dtype=np.float32)
+        out = pad_to_grid(d, 4)
+        assert out.shape == (5, 9, 13)
+
+    def test_stride_one(self):
+        d = np.zeros(7, dtype=np.float32)
+        assert pad_to_grid(d, 1).shape == (7,)
+
+    def test_invalid_stride(self):
+        with pytest.raises(DataError):
+            pad_to_grid(np.zeros(4), 0)
+
+    def test_crop_inverts_pad(self):
+        d = np.random.default_rng(0).random((6, 11)).astype(np.float32)
+        padded = pad_to_grid(d, 8)
+        back = crop_to_shape(padded, d.shape)
+        np.testing.assert_array_equal(back, d)
+
+    def test_crop_rank_mismatch(self):
+        with pytest.raises(DataError):
+            crop_to_shape(np.zeros((4, 4)), (4,))
+
+
+class TestHelpers:
+    def test_value_range(self):
+        assert value_range(np.array([-2.0, 5.0, 1.0])) == 7.0
+
+    def test_value_range_constant(self):
+        assert value_range(np.full(5, 3.3)) == 0.0
+
+    def test_blocks_along(self):
+        assert blocks_along(10, 4) == 3
+        assert blocks_along(8, 4) == 2
+        assert blocks_along(1, 4) == 1

@@ -1,0 +1,82 @@
+"""Unit tests for the profiling-based auto-tuner (paper §V-C)."""
+
+import numpy as np
+import pytest
+
+from conftest import smooth_field
+from repro.core.ginterp.autotune import (alpha_from_eb, autotune,
+                                         profile_cubic_errors)
+from repro.core.ginterp.splines import CUBIC_NAK, CUBIC_NAT
+
+
+class TestAlphaFromEb:
+    """Eq. 1's piecewise-linear map, checked at every knot and segment."""
+
+    @pytest.mark.parametrize("eb,expect", [
+        (0.5, 2.0),
+        (1e-1, 2.0),
+        (1e-2, 1.75),
+        (1e-3, 1.5),
+        (1e-4, 1.25),
+        (1e-5, 1.0),
+        (1e-6, 1.0),
+    ])
+    def test_knots(self, eb, expect):
+        assert alpha_from_eb(eb) == pytest.approx(expect)
+
+    def test_midpoints_interpolate(self):
+        mid = (1e-2 + 1e-1) / 2
+        assert alpha_from_eb(mid) == pytest.approx(
+            1.75 + 0.25 * (mid - 1e-2) / (1e-1 - 1e-2))
+
+    def test_monotone_nondecreasing(self):
+        ebs = np.logspace(-7, 0, 200)
+        alphas = [alpha_from_eb(e) for e in ebs]
+        assert all(b >= a - 1e-12 for a, b in zip(alphas, alphas[1:]))
+
+    def test_range(self):
+        for e in np.logspace(-8, 1, 50):
+            assert 1.0 <= alpha_from_eb(e) <= 2.0
+
+
+class TestProfiling:
+    def test_error_matrix_shape(self):
+        data = smooth_field((20, 24, 28), seed=0)
+        errors = profile_cubic_errors(data)
+        assert errors.shape == (3, 2)
+        assert (errors >= 0).all()
+
+    def test_detects_least_smooth_axis(self):
+        # make axis 0 much rougher than the others
+        rng = np.random.default_rng(0)
+        base = smooth_field((32, 32, 32), seed=1).astype(np.float64)
+        base += 0.5 * np.sin(np.arange(32) * 2.9)[:, None, None]
+        report = autotune(base.astype(np.float32), 1e-3)
+        assert report.axis_order[0] == 0
+
+    def test_tiny_axes_survive(self):
+        data = smooth_field((5, 40), seed=2)
+        errors = profile_cubic_errors(data)
+        assert errors.shape == (2, 2)
+
+    def test_report_fields(self):
+        data = smooth_field(seed=3)
+        rng = float(data.max() - data.min())
+        report = autotune(data, 1e-3 * rng)
+        assert report.alpha == pytest.approx(alpha_from_eb(1e-3), rel=1e-6)
+        assert sorted(report.axis_order) == [0, 1, 2]
+        assert all(v in (CUBIC_NAK, CUBIC_NAT)
+                   for v in report.cubic_variant)
+        assert report.value_range == pytest.approx(rng)
+
+    def test_deterministic(self):
+        data = smooth_field(seed=4)
+        a = autotune(data, 1e-3)
+        b = autotune(data, 1e-3)
+        assert a == b
+
+    def test_constant_field(self):
+        data = np.full((16, 16, 16), 2.0, dtype=np.float32)
+        report = autotune(data, 1e-3)
+        assert report.value_range == 0.0
+        assert report.alpha >= 1.0

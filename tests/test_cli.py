@@ -1,0 +1,80 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from conftest import smooth_field
+from repro.cli import main
+
+
+@pytest.fixture
+def raw_file(tmp_path):
+    data = smooth_field((20, 24, 16), seed=60)
+    path = tmp_path / "field.f32"
+    data.tofile(path)
+    return path, data
+
+
+class TestCLI:
+    def test_compress_decompress_cycle(self, raw_file, tmp_path, capsys):
+        path, data = raw_file
+        comp = tmp_path / "field.rp"
+        out = tmp_path / "out.f32"
+        assert main(["compress", str(path), str(comp),
+                     "--dims", "20,24,16", "--eb", "1e-3"]) == 0
+        assert main(["decompress", str(comp), str(out)]) == 0
+        recon = np.fromfile(out, dtype=np.float32).reshape(20, 24, 16)
+        rng = float(data.max() - data.min())
+        assert np.abs(recon - data).max() <= 1e-3 * rng * 1.001
+        captured = capsys.readouterr().out
+        assert "CR" in captured
+
+    def test_compress_wrong_dims(self, raw_file, tmp_path, capsys):
+        path, _ = raw_file
+        rc = main(["compress", str(path), str(tmp_path / "x.rp"),
+                   "--dims", "10,10,10"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_info(self, raw_file, tmp_path, capsys):
+        path, _ = raw_file
+        comp = tmp_path / "f.rp"
+        main(["compress", str(path), str(comp), "--dims", "20,24,16"])
+        assert main(["info", str(comp)]) == 0
+        out = capsys.readouterr().out
+        assert "codec:    cuszi" in out
+        assert "segments:" in out
+
+    def test_cuzfp_rate_path(self, raw_file, tmp_path):
+        path, data = raw_file
+        comp = tmp_path / "f.zfp"
+        out = tmp_path / "o.f32"
+        assert main(["compress", str(path), str(comp),
+                     "--dims", "20,24,16", "--codec", "cuzfp",
+                     "--rate", "8"]) == 0
+        assert main(["decompress", str(comp), str(out)]) == 0
+        recon = np.fromfile(out, dtype=np.float32)
+        assert recon.size == data.size
+
+    def test_gen(self, tmp_path):
+        out = tmp_path / "m.f32"
+        assert main(["gen", "miranda", "density", str(out)]) == 0
+        data = np.fromfile(out, dtype=np.float32)
+        assert data.size == 64 * 96 * 96
+
+    def test_gen_bad_field(self, tmp_path):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            main(["gen", "miranda", "nothere", str(tmp_path / "x")])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cuszi" in out and "jhtdb" in out
+
+    def test_codec_selection(self, raw_file, tmp_path):
+        path, _ = raw_file
+        for codec in ("cusz", "fzgpu"):
+            comp = tmp_path / f"f.{codec}"
+            assert main(["compress", str(path), str(comp),
+                         "--dims", "20,24,16", "--codec", codec]) == 0

@@ -1,0 +1,97 @@
+"""Unit + property tests for the container format and lossless wrap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.container import (build_container, container_overhead,
+                                    parse_container)
+from repro.common.errors import ContainerError
+from repro.common.lossless_wrap import (peek_codec, unwrap_lossless,
+                                        wrap_lossless)
+
+
+class TestContainer:
+    def test_roundtrip(self):
+        meta = {"shape": [4, 5], "eb": 1e-3, "name": "x"}
+        segs = {"a": b"hello", "b": b"", "c": bytes(range(256))}
+        blob = build_container("codec1", meta, segs)
+        codec, m, s = parse_container(blob)
+        assert codec == "codec1"
+        assert m == meta
+        assert s == {k: bytes(v) if isinstance(v, bytes) else v
+                     for k, v in segs.items()}
+
+    def test_ndarray_segment(self):
+        arr = np.arange(10, dtype=np.uint32)
+        blob = build_container("c", {}, {"arr": arr})
+        _, _, segs = parse_container(blob)
+        np.testing.assert_array_equal(
+            np.frombuffer(segs["arr"], np.uint32), arr)
+
+    def test_bad_magic(self):
+        with pytest.raises(ContainerError):
+            parse_container(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated(self):
+        blob = build_container("c", {"k": 1}, {"s": b"abc"})
+        with pytest.raises(ContainerError):
+            parse_container(blob[:-1])
+
+    def test_trailing_garbage(self):
+        blob = build_container("c", {}, {"s": b"abc"})
+        with pytest.raises(ContainerError):
+            parse_container(blob + b"\x00")
+
+    def test_non_json_meta_rejected(self):
+        with pytest.raises(ContainerError):
+            build_container("c", {"bad": object()}, {})
+
+    def test_nan_meta_rejected(self):
+        with pytest.raises(ContainerError):
+            build_container("c", {"v": float("nan")}, {})
+
+    def test_empty_codec_rejected(self):
+        with pytest.raises(ContainerError):
+            build_container("", {}, {})
+
+    def test_overhead_accounting(self):
+        over = container_overhead("c", {"k": 12}, ["a", "b"])
+        blob = build_container("c", {"k": 12}, {"a": b"x" * 100,
+                                                "b": b"y" * 50})
+        assert len(blob) == over + 150
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=20),
+                           st.binary(max_size=500), max_size=5),
+           st.dictionaries(st.text(max_size=10),
+                           st.integers(-10**6, 10**6), max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, segments, meta):
+        # segment names must be 1..255 utf-8 bytes
+        segments = {k: v for k, v in segments.items()
+                    if 1 <= len(k.encode()) <= 255}
+        blob = build_container("prop", meta, segments)
+        codec, m, s = parse_container(blob)
+        assert codec == "prop" and m == meta and s == segments
+
+
+class TestLosslessWrap:
+    @pytest.mark.parametrize("name", ["none", "gle", "zlib"])
+    def test_roundtrip(self, name):
+        inner = build_container("c", {"x": 1}, {"s": b"\x00" * 1000})
+        blob = wrap_lossless(inner, name)
+        assert unwrap_lossless(blob) == inner
+
+    def test_peek_codec(self):
+        inner = build_container("mycodec", {}, {})
+        assert peek_codec(wrap_lossless(inner, "gle")) == "mycodec"
+
+    def test_missing_frame(self):
+        with pytest.raises(ContainerError):
+            unwrap_lossless(b"nope")
+
+    def test_gle_actually_shrinks_redundant_container(self):
+        inner = build_container("c", {}, {"s": b"\x00" * 100000})
+        wrapped = wrap_lossless(inner, "gle")
+        assert len(wrapped) < len(inner) // 100

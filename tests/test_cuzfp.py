@@ -1,0 +1,149 @@
+"""Unit tests for the cuZFP fixed-rate codec."""
+
+import numpy as np
+import pytest
+
+from conftest import rough_field, smooth_field
+from repro.baselines.cuzfp import CuZFP, fwd_lift, inv_lift, sequency_order
+from repro.baselines.cuzfp.codec import _decode_planes, _encode_planes
+from repro.baselines.cuzfp.transform import fwd_transform, inv_transform
+from repro.common.errors import ConfigError, ReproError
+from repro.common.metrics import psnr
+
+
+class TestTransform:
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    def test_near_invertible(self, ndim, rng):
+        blocks = rng.integers(-2**30, 2**30,
+                              size=(200,) + (4,) * ndim).astype(np.int64)
+        orig = blocks.copy()
+        fwd_transform(blocks)
+        inv_transform(blocks)
+        # lossy by design: each >>1 stage may drop one unit
+        assert np.abs(blocks - orig).max() <= 32
+
+    def test_decorrelates_smooth_blocks(self, rng):
+        # a linear ramp concentrates energy in low-sequency coefficients
+        ramp = np.arange(4, dtype=np.int64) * 1000
+        block = np.broadcast_to(ramp, (1, 4, 4, 4)).copy()
+        fwd_transform(block)
+        coefs = np.abs(block.reshape(-1)[sequency_order(3)])
+        assert coefs[:4].sum() > coefs[32:].sum()
+
+    def test_single_lift_axis_independence(self, rng):
+        b = rng.integers(-1000, 1000, (5, 4, 4)).astype(np.int64)
+        b2 = b.copy()
+        fwd_lift(b, 1)
+        fwd_lift(b, 2)
+        fwd_lift(b2, 1)
+        # axis-2 lift must not change what axis-1 already produced along 1
+        inv_lift(b, 2)
+        assert np.abs(b - b2).max() <= 4
+
+    @pytest.mark.parametrize("ndim,expect_first", [(1, 0), (2, 0), (3, 0)])
+    def test_sequency_order_starts_at_dc(self, ndim, expect_first):
+        order = sequency_order(ndim)
+        assert order[0] == expect_first
+        assert sorted(order) == list(range(4 ** ndim))
+
+    def test_sequency_order_monotone_degree(self):
+        order = sequency_order(3)
+        coords = np.indices((4, 4, 4)).reshape(3, -1)
+        degrees = coords.sum(axis=0)[order]
+        assert (np.diff(degrees) >= 0).all()
+
+
+class TestPlaneCoder:
+    def test_roundtrip_exact_when_budget_ample(self, rng):
+        neg = rng.integers(0, 2**20, (50, 64)).astype(np.uint64)
+        maxbits = 64 * 32  # enough for everything
+        bitbuf = _encode_planes(neg, maxbits)
+        back = _decode_planes(bitbuf, 64)
+        np.testing.assert_array_equal(back, neg)
+
+    def test_truncation_never_invents_bits(self, rng):
+        neg = rng.integers(0, 2**20, (50, 64)).astype(np.uint64)
+        bitbuf = _encode_planes(neg, 256)
+        back = _decode_planes(bitbuf, 64)
+        # truncated reconstruction only drops bits, never invents them,
+        # so it is elementwise <= the original and loses only low planes
+        assert (back & ~neg).max() == 0
+        assert (back <= neg).all()
+        # and on average most of the magnitude survives the budget
+        assert back.sum(dtype=np.float64) > 0.5 * neg.sum(dtype=np.float64)
+
+    def test_zero_blocks_cost_one_bit_per_plane(self):
+        neg = np.zeros((10, 64), dtype=np.uint64)
+        bitbuf = _encode_planes(neg, 128)
+        # each plane writes exactly one 0 flag
+        assert bitbuf.sum() == 0
+
+
+class TestCodec:
+    def test_rate_respected(self):
+        data = smooth_field((40, 40, 40), seed=30)
+        for rate in (1.0, 4.0):
+            blob = CuZFP(rate=rate).compress(data)
+            bpe = 8 * len(blob) / data.size
+            assert bpe == pytest.approx(rate, rel=0.05)
+
+    def test_psnr_increases_with_rate(self):
+        data = smooth_field((40, 40, 40), seed=31)
+        psnrs = []
+        for rate in (1.0, 2.0, 4.0, 8.0):
+            c = CuZFP(rate=rate)
+            psnrs.append(psnr(data, c.decompress(c.compress(data))))
+        assert psnrs == sorted(psnrs)
+
+    def test_high_rate_near_lossless(self):
+        data = smooth_field((24, 24, 24), seed=32)
+        c = CuZFP(rate=28.0)
+        out = c.decompress(c.compress(data))
+        rng = float(data.max() - data.min())
+        assert np.abs(out - data).max() < 1e-5 * rng
+
+    @pytest.mark.parametrize("shape", [(100,), (33, 45), (17, 19, 23)])
+    def test_odd_shapes(self, shape):
+        data = smooth_field(shape, seed=33)
+        c = CuZFP(rate=8.0)
+        out = c.decompress(c.compress(data))
+        assert out.shape == shape
+        assert psnr(data, out) > 40
+
+    def test_rough_data_lower_quality(self):
+        smooth = smooth_field((32, 32, 32), seed=34)
+        rough = rough_field((32, 32, 32), seed=34)
+        c = CuZFP(rate=4.0)
+        p_smooth = psnr(smooth, c.decompress(c.compress(smooth)))
+        p_rough = psnr(rough, c.decompress(c.compress(rough)))
+        assert p_smooth > p_rough + 10
+
+    def test_rate_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            CuZFP(rate=0.1).compress(smooth_field((8, 8, 8)))
+        with pytest.raises(ConfigError):
+            CuZFP(rate=-1)
+
+    def test_huge_dynamic_range_blocks(self):
+        data = smooth_field((16, 16, 16), seed=35)
+        data[:8] *= 1e20
+        data[8:] *= 1e-20
+        c = CuZFP(rate=8.0)
+        out = c.decompress(c.compress(data))
+        # block-local exponents keep each regime's relative error sane
+        assert psnr(data, out) > 40
+
+    def test_zero_field(self):
+        data = np.zeros((16, 16, 16), dtype=np.float32)
+        c = CuZFP(rate=2.0)
+        np.testing.assert_array_equal(c.decompress(c.compress(data)), data)
+
+    def test_wrong_blob_rejected(self):
+        with pytest.raises(ReproError):
+            CuZFP().decompress(b"nope")
+
+    def test_gle_wrap(self):
+        data = smooth_field((20, 20, 20), seed=36)
+        c = CuZFP(rate=4.0, lossless="gle")
+        out = c.decompress(c.compress(data))
+        assert psnr(data, out) > 60

@@ -1,0 +1,135 @@
+"""Unit tests for the synthetic dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.datasets import (DATASETS, dataset_names, get_dataset,
+                            load_field)
+from repro.datasets.registry import rtm_steps
+from repro.datasets.synthetic import (intermittency_envelope, rtm_field,
+                                      spectral_field)
+
+
+class TestSpectralField:
+    def test_normalized(self):
+        f = spectral_field((48, 48, 48), 4.0, 0.3, seed=1)
+        assert abs(f.mean()) < 1e-8
+        assert f.std() == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = spectral_field((32, 32), 3.0, 0.4, seed=7)
+        b = spectral_field((32, 32), 3.0, 0.4, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_field(self):
+        a = spectral_field((32, 32), 3.0, 0.4, seed=7)
+        b = spectral_field((32, 32), 3.0, 0.4, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_band_limit_enforced(self):
+        f = spectral_field((64, 64), 3.0, kmax_frac=0.25, seed=2)
+        spec = np.abs(np.fft.rfftn(f))
+        ky = np.fft.fftfreq(64)[:, None] * 64
+        kx = np.fft.rfftfreq(64)[None, :] * 64
+        kk = np.sqrt(ky ** 2 + kx ** 2)
+        beyond = spec[kk > 0.25 * 32 + 1e-9]
+        assert beyond.max() < 1e-8 * spec.max()
+
+    def test_steeper_slope_is_smoother(self):
+        rough = spectral_field((64, 64, 64), 2.0, 0.5, seed=3)
+        smooth = spectral_field((64, 64, 64), 6.0, 0.5, seed=3)
+        g_rough = np.abs(np.diff(rough, axis=0)).mean()
+        g_smooth = np.abs(np.diff(smooth, axis=0)).mean()
+        assert g_smooth < g_rough
+
+    def test_bad_kmax(self):
+        with pytest.raises(ConfigError):
+            spectral_field((16, 16), 3.0, 1.5, seed=0)
+
+    def test_envelope_positive_and_wide(self):
+        env = intermittency_envelope((48, 48, 48), 2.0, seed=4)
+        assert (env > 0).all()
+        assert env.max() / env.min() > 10  # orders-of-magnitude contrast
+
+
+class TestRegistry:
+    def test_six_datasets(self):
+        assert dataset_names() == ["jhtdb", "miranda", "nyx", "qmcpack",
+                                   "rtm", "s3d"]
+
+    def test_table2_shapes_recorded(self):
+        assert DATASETS["jhtdb"].paper_shape == (512, 512, 512)
+        assert DATASETS["rtm"].paper_shape == (449, 449, 235)
+        assert DATASETS["s3d"].paper_total_gb == pytest.approx(5.1)
+
+    @pytest.mark.parametrize("name", ["jhtdb", "miranda", "nyx",
+                                      "qmcpack", "rtm", "s3d"])
+    def test_all_fields_generate(self, name):
+        info = get_dataset(name)
+        for fld in info.fields:
+            data = info.load(fld, shape=(24, 20, 22))
+            assert data.shape == (24, 20, 22)
+            assert data.dtype == np.float32
+            assert np.isfinite(data).all()
+
+    def test_default_shapes(self):
+        d = load_field("miranda", "density")
+        assert d.shape == DATASETS["miranda"].default_shape
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            get_dataset("exa-foo")
+
+    def test_unknown_field(self):
+        with pytest.raises(ConfigError):
+            load_field("jhtdb", "vorticity")
+
+    def test_deterministic_across_calls(self):
+        a = load_field("nyx", "baryon_density", shape=(16, 16, 16))
+        b = load_field("nyx", "baryon_density", shape=(16, 16, 16))
+        np.testing.assert_array_equal(a, b)
+
+    def test_fields_differ(self):
+        u = load_field("jhtdb", "u", shape=(16, 16, 16))
+        v = load_field("jhtdb", "v", shape=(16, 16, 16))
+        assert not np.array_equal(u, v)
+
+
+class TestDatasetStatistics:
+    """The properties that make each dataset play its Table III role."""
+
+    def test_nyx_density_lognormal_range(self):
+        d = load_field("nyx", "baryon_density", shape=(48, 48, 48))
+        assert d.min() > 0
+        assert d.max() / np.median(d) > 50  # filamentary contrast
+
+    def test_rtm_early_snapshot_mostly_quiet(self):
+        early = rtm_field((48, 48, 32), step=600)
+        late = rtm_field((48, 48, 32), step=3400)
+        assert (early == 0).mean() > 0.15
+        assert (late == 0).mean() < (early == 0).mean()
+
+    def test_rtm_steps_sampling(self):
+        steps = rtm_steps(n=37)
+        assert len(steps) == 37
+        assert steps[0] >= 300          # initialization skipped
+        assert all(s < 3700 for s in steps)
+
+    def test_rtm_bad_step(self):
+        with pytest.raises(ConfigError):
+            rtm_field(step=-5)
+
+    def test_s3d_species_floor(self):
+        d = load_field("s3d", "CO", shape=(48, 48, 48))
+        assert (d == 0).mean() > 0.1    # exact zero floor off the sheet
+
+    def test_miranda_density_has_interface_jump(self):
+        d = load_field("miranda", "density", shape=(48, 48, 48))
+        grad = np.abs(np.diff(d, axis=0))
+        assert grad.max() > 10 * np.median(grad)  # sharp sheet
+
+    def test_jhtdb_velocity_intermittent(self):
+        d = load_field("jhtdb", "u", shape=(64, 64, 64)).astype(np.float64)
+        kurtosis = ((d - d.mean()) ** 4).mean() / d.var() ** 2
+        assert kurtosis > 4.0  # heavier-tailed than Gaussian (3.0)

@@ -1,0 +1,101 @@
+"""Extra property tests: the interpolation engine on 1D/2D grids and the
+exactness properties the spline design promises."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import assert_error_bounded
+from repro.common.quantizer import LinearQuantizer
+from repro.core.ginterp import InterpSpec, interp_compress, interp_decompress
+
+
+def polynomial_field_2d(shape, degree):
+    """A low-degree polynomial surface (exactly interpolable by cubics)."""
+    y, x = np.meshgrid(np.linspace(-1, 1, shape[0]),
+                       np.linspace(-1, 1, shape[1]), indexing="ij")
+    out = np.zeros(shape)
+    for p in range(degree + 1):
+        for q in range(degree + 1 - p):
+            out += ((-0.5) ** (p + q)) * y ** p * x ** q
+    return out.astype(np.float32)
+
+
+class TestPolynomialExactness:
+    @pytest.mark.parametrize("degree,limit", [(0, 0.001), (1, 0.001),
+                                              (2, 0.02), (3, 0.3)])
+    def test_global_cubic_nearly_exact_on_low_degree(self, degree, limit):
+        # global cubic interpolation reproduces degree<=2 polynomials to
+        # quantization precision everywhere (boundary quadratics are exact
+        # too); degree 3 stays exact only where all four neighbors exist,
+        # so boundary fallbacks and level-to-level quantization feedback
+        # leave a bounded fraction of small nonzero codes
+        data = polynomial_field_2d((33, 33), degree)
+        eb = 1e-5 * float(data.max() - data.min() + 1)
+        spec = InterpSpec(anchor_stride=32, window_shape=None, alpha=1.0)
+        res = interp_compress(data, spec, eb, LinearQuantizer(512))
+        nz = (res.codes != 512).mean()
+        assert nz < limit, f"degree {degree}: nz={nz:.3f}"
+
+    def test_windowed_linear_exact_on_affine(self):
+        data = polynomial_field_2d((33, 33), 1)
+        eb = 1e-6
+        spec = InterpSpec(anchor_stride=16, window_shape=(17, 65),
+                          alpha=1.0)
+        res = interp_compress(data, spec, eb, LinearQuantizer(512))
+        # affine data is exact under every spline class (incl. linear)
+        assert (res.codes != 512).mean() < 0.02
+
+
+class TestLowDimProperties:
+    @given(st.integers(0, 10 ** 6),
+           st.sampled_from([(65,), (130,), (257,)]),
+           st.sampled_from([1e-2, 1e-4]))
+    @settings(max_examples=12, deadline=None)
+    def test_1d_roundtrip_property(self, seed, shape, rel_eb):
+        rng = np.random.default_rng(seed)
+        t = np.linspace(0, 4 * np.pi, shape[0])
+        data = (np.sin(t) + 0.1 * rng.standard_normal(shape)
+                ).astype(np.float32)
+        vr = float(data.max() - data.min())
+        eb = rel_eb * vr
+        spec = InterpSpec(anchor_stride=64, window_shape=(257,),
+                          alpha=1.25)
+        res = interp_compress(data, spec, eb)
+        dec = interp_decompress(shape, spec, eb, res.codes, res.outliers,
+                                res.anchors)
+        np.testing.assert_array_equal(dec, res.reconstructed)
+        assert_error_bounded(data, dec.astype(np.float32), eb)
+
+    @given(st.integers(0, 10 ** 6),
+           st.sampled_from([(20, 50), (48, 31), (17, 17)]))
+    @settings(max_examples=12, deadline=None)
+    def test_2d_roundtrip_property(self, seed, shape):
+        rng = np.random.default_rng(seed)
+        from scipy.ndimage import zoom
+        coarse = rng.standard_normal((max(2, shape[0] // 6),
+                                      max(2, shape[1] // 6)))
+        data = zoom(coarse, (shape[0] / coarse.shape[0],
+                             shape[1] / coarse.shape[1]),
+                    order=3)[:shape[0], :shape[1]].astype(np.float32)
+        vr = float(data.max() - data.min()) or 1.0
+        eb = 1e-3 * vr
+        spec = InterpSpec(anchor_stride=16, window_shape=(17, 65),
+                          alpha=1.5)
+        res = interp_compress(data, spec, eb)
+        dec = interp_decompress(data.shape, spec, eb, res.codes,
+                                res.outliers, res.anchors)
+        np.testing.assert_array_equal(dec, res.reconstructed)
+        assert_error_bounded(data, dec.astype(np.float32), eb)
+
+    def test_axis_of_length_one(self):
+        # degenerate axes must not crash the traversal
+        data = np.random.default_rng(0).standard_normal(
+            (1, 40)).astype(np.float32)
+        spec = InterpSpec(anchor_stride=16, window_shape=None)
+        res = interp_compress(data, spec, 0.01)
+        dec = interp_decompress(data.shape, spec, 0.01, res.codes,
+                                res.outliers, res.anchors)
+        np.testing.assert_array_equal(dec, res.reconstructed)
+        assert_error_bounded(data, dec.astype(np.float32), 0.01)

@@ -1,0 +1,84 @@
+"""Smoke + behavior tests for the experiment harness (tiny workloads)."""
+
+import numpy as np
+import pytest
+
+from conftest import smooth_field
+from repro.experiments import fig5, fig8
+from repro.experiments.harness import (EB_GRID, format_table, run_codec,
+                                       scale_fields)
+
+
+class TestHarness:
+    def test_eb_grid_is_paper(self):
+        assert EB_GRID == (1e-2, 1e-3, 1e-4)
+
+    def test_run_codec_measures(self):
+        data = smooth_field((24, 24, 24), seed=70)
+        r = run_codec("cusz", data, dataset="x", field="y", eb=1e-3)
+        assert r.ratio > 1
+        assert r.bit_rate == pytest.approx(
+            8 * r.compressed_bytes / data.size)
+        rng = float(data.max() - data.min())
+        assert r.max_err <= 1e-3 * rng * 1.001
+        assert np.isfinite(r.psnr)
+
+    def test_run_codec_verify_off(self):
+        data = smooth_field((20, 20, 20), seed=71)
+        r = run_codec("cuszi", data, eb=1e-2, verify=False)
+        assert np.isnan(r.psnr)
+
+    def test_scale_fields(self):
+        small = scale_fields("small")
+        full = scale_fields("full")
+        assert len(small) == 6
+        assert len(full) > len(small)
+        assert set(small) <= set(full)
+        with pytest.raises(Exception):
+            scale_fields("enormous")
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+
+class TestFig5Predictors:
+    def test_ginterp_close_to_sz3_far_from_lorenzo(self):
+        # the paper's Fig. 5 ordering on a smooth field
+        data = smooth_field((48, 48, 48), seed=72, scale=6.0)
+        rng = float(data.max() - data.min())
+        eb = 1e-2 * rng
+        counts = {p: fig5.predictor_nonzeros(data, eb, p)["nonzero"]
+                  for p in ("sz3", "ginterp", "lorenzo")}
+        assert counts["ginterp"] < counts["lorenzo"] / 2
+        assert counts["ginterp"] < 3 * max(counts["sz3"], 1)
+
+    def test_unknown_predictor(self):
+        with pytest.raises(ValueError):
+            fig5.predictor_nonzeros(np.zeros((8, 8, 8)), 0.1, "magic")
+
+    def test_amplitude_histogram_consistent(self):
+        data = smooth_field((32, 32, 32), seed=73)
+        stats = fig5.predictor_nonzeros(
+            data, 1e-3 * float(data.max() - data.min()), "ginterp")
+        hist_total = sum(stats["amplitude_hist"].values())
+        assert hist_total == stats["nonzero"]
+
+
+class TestFig8Calibration:
+    def test_calibrates_to_target(self):
+        data = smooth_field((40, 40, 40), seed=74)
+        blob, cr, knob = fig8.calibrate_to_ratio("cusz", data, 15.0,
+                                                 lossless="none")
+        assert cr == pytest.approx(15.0, rel=0.15)
+        assert knob > 0
+
+    def test_calibrates_cuzfp_by_rate(self):
+        data = smooth_field((40, 40, 40), seed=75)
+        blob, cr, rate = fig8.calibrate_to_ratio("cuzfp", data, 16.0,
+                                                 lossless="none")
+        assert cr == pytest.approx(16.0, rel=0.15)
+        assert rate == pytest.approx(2.0, rel=0.3)

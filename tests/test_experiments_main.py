@@ -1,0 +1,38 @@
+"""Smoke tests for the experiment runner entry point."""
+
+import os
+
+import pytest
+
+from repro.experiments.__main__ import MODULES, main
+
+
+class TestRunner:
+    def test_module_registry_complete(self):
+        assert set(MODULES) == {"table3", "fig5", "fig6", "fig7", "fig8",
+                                "fig9", "fig10", "ablations", "pareto"}
+
+    def test_fig5_runs_and_prints(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "Miranda-pressure" in out
+        assert "completed" in out
+
+    def test_out_dir_written(self, tmp_path, capsys):
+        assert main(["fig5", "--out", str(tmp_path)]) == 0
+        path = tmp_path / "fig5.txt"
+        assert path.exists()
+        assert "lorenzo" in path.read_text()
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig42"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig5", "--scale", "huge"])
+
+    def test_cli_bench_passthrough(self, capsys):
+        from repro.cli import main as cli_main
+        assert cli_main(["bench", "fig5"]) == 0
+        assert "Miranda-pressure" in capsys.readouterr().out

@@ -1,0 +1,130 @@
+"""Unit tests for the GPU performance model (the Fig. 9 substrate)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.gpu import (A40_JLSE, A100_THETA, DEVICES, Kernel,
+                       estimate_throughput, kernel_time, pipeline_kernels)
+
+
+class TestDevices:
+    def test_table1_specs(self):
+        assert A100_THETA.mem_bw == 1555.0
+        assert A100_THETA.fp32_peak == 19.49
+        assert A40_JLSE.mem_bw == pytest.approx(695.8)
+        assert A40_JLSE.fp32_peak == pytest.approx(37.42)
+        assert set(DEVICES) == {"a100", "a40"}
+
+
+class TestKernelModel:
+    def test_memory_bound(self):
+        k = Kernel(name="stream", bytes_read=1e9, bytes_written=0,
+                   mem_eff=1.0)
+        t = kernel_time(k, A100_THETA)
+        assert t == pytest.approx(1e9 / 1555e9, rel=0.05)
+
+    def test_compute_bound(self):
+        k = Kernel(name="math", bytes_read=8, bytes_written=8,
+                   flops=1e12, flop_eff=1.0)
+        t = kernel_time(k, A100_THETA)
+        assert t == pytest.approx(1e12 / 19.49e12, rel=0.05)
+
+    def test_launch_overhead_floor(self):
+        k = Kernel(name="tiny", bytes_read=8, bytes_written=8)
+        assert kernel_time(k, A100_THETA) \
+            >= A100_THETA.kernel_overhead_us * 1e-6
+
+    def test_launch_multiplier(self):
+        k1 = Kernel(name="one", bytes_read=8, bytes_written=0, launches=1)
+        k9 = Kernel(name="nine", bytes_read=8, bytes_written=0, launches=9)
+        assert kernel_time(k9, A100_THETA) \
+            > 8 * kernel_time(k1, A100_THETA) * 0.9
+
+    def test_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            Kernel(name="bad", bytes_read=1, bytes_written=0, mem_eff=0.0)
+        with pytest.raises(ConfigError):
+            Kernel(name="bad", bytes_read=-1, bytes_written=0)
+
+
+class TestPipelines:
+    N = 512 ** 3
+    CB = N * 4 // 25
+
+    @pytest.mark.parametrize("codec", ["cusz", "cuszi", "cuszp", "cuszx",
+                                       "fzgpu", "cuzfp"])
+    @pytest.mark.parametrize("direction", ["compress", "decompress"])
+    def test_inventories_exist(self, codec, direction):
+        ks = pipeline_kernels(codec, direction, self.N, self.CB)
+        assert ks
+        t = estimate_throughput(codec, direction, self.N, self.CB,
+                                A100_THETA)
+        assert 10 < t.throughput_gbps < 2000
+
+    def test_unknown_codec(self):
+        with pytest.raises(ConfigError):
+            pipeline_kernels("sz3", "compress", self.N, self.CB)
+
+    def test_bad_direction(self):
+        with pytest.raises(ConfigError):
+            pipeline_kernels("cusz", "sideways", self.N, self.CB)
+
+    def test_paper_ratio_cuszi_vs_cusz_a100_compress(self):
+        # §VII-C.4: "approximately 60% of cuSZ's compression throughput"
+        ci = estimate_throughput("cuszi", "compress", self.N, self.CB,
+                                 A100_THETA).throughput_gbps
+        cz = estimate_throughput("cusz", "compress", self.N, self.CB,
+                                 A100_THETA).throughput_gbps
+        assert 0.45 <= ci / cz <= 0.7
+
+    def test_paper_ratio_cuszi_vs_cusz_a100_decompress(self):
+        # §VII-C.4: "80% to 90% of cuSZ's decompression throughput"
+        ci = estimate_throughput("cuszi", "decompress", self.N, self.CB,
+                                 A100_THETA).throughput_gbps
+        cz = estimate_throughput("cusz", "decompress", self.N, self.CB,
+                                 A100_THETA).throughput_gbps
+        assert 0.7 <= ci / cz <= 0.95
+
+    def test_paper_ratio_closer_on_a40(self):
+        # §VII-C.4: cuSZ-i performs closer to cuSZ on the A40
+        def ratio(dev):
+            ci = estimate_throughput("cuszi", "compress", self.N, self.CB,
+                                     dev).throughput_gbps
+            cz = estimate_throughput("cusz", "compress", self.N, self.CB,
+                                     dev).throughput_gbps
+            return ci / cz
+        assert ratio(A40_JLSE) > ratio(A100_THETA)
+        assert 0.65 <= ratio(A40_JLSE) <= 0.9
+
+    def test_speed_ordering_matches_fig9(self):
+        # throughput-oriented codecs beat cuSZ; cuSZ beats cuSZ-i
+        names = ["cuszx", "cuszp", "cuzfp", "fzgpu", "cusz", "cuszi"]
+        tps = {c: estimate_throughput(c, "compress", self.N, self.CB,
+                                      A100_THETA).throughput_gbps
+               for c in names}
+        assert tps["cuszx"] > tps["cusz"]
+        assert tps["cuszp"] > tps["cusz"]
+        assert tps["fzgpu"] > tps["cusz"]
+        assert tps["cuzfp"] > tps["cusz"]
+        assert tps["cusz"] > tps["cuszi"]
+
+    def test_gle_overhead_negligible(self):
+        # §VII-C.4: "adding Bitcomp-lossless brings negligible overhead"
+        plain = estimate_throughput("cuszi", "compress", self.N, self.CB,
+                                    A100_THETA).throughput_gbps
+        wrapped = estimate_throughput("cuszi", "compress", self.N, self.CB,
+                                      A100_THETA,
+                                      lossless="gle").throughput_gbps
+        assert wrapped >= plain * 0.9
+
+    def test_throughput_scales_with_bandwidth_for_streaming(self):
+        a100 = estimate_throughput("cuszx", "compress", self.N, self.CB,
+                                   A100_THETA).throughput_gbps
+        a40 = estimate_throughput("cuszx", "compress", self.N, self.CB,
+                                  A40_JLSE).throughput_gbps
+        assert a40 / a100 == pytest.approx(695.8 / 1555.0, rel=0.1)
+
+    def test_unknown_lossless(self):
+        with pytest.raises(ConfigError):
+            pipeline_kernels("cusz", "compress", self.N, self.CB,
+                             lossless="zstd")

@@ -1,0 +1,135 @@
+"""Unit tests for the transaction/occupancy-level GPU simulator."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.gpu import A40_JLSE, A100_THETA
+from repro.gpu.simulator import (SM_CONFIGS, KernelLaunch, occupancy,
+                                 pipeline_launches, simulate_kernel,
+                                 simulate_pipeline)
+
+
+def _launch(**overrides):
+    base = dict(name="k", grid_blocks=1000, threads_per_block=256,
+                regs_per_thread=32, shared_bytes_per_block=0,
+                sectors_loaded_per_block=64.0,
+                sectors_stored_per_block=64.0)
+    base.update(overrides)
+    return KernelLaunch(**base)
+
+
+class TestOccupancy:
+    SM = SM_CONFIGS["A100"]
+
+    def test_thread_limited(self):
+        # 256-thread blocks, tiny footprint -> 2048/256 = 8 blocks
+        assert occupancy(_launch(), self.SM) == 8
+
+    def test_shared_memory_limited(self):
+        launch = _launch(shared_bytes_per_block=40 * 1024)
+        assert occupancy(launch, self.SM) == 4  # 164KB / 40KB
+
+    def test_register_limited(self):
+        launch = _launch(regs_per_thread=128)
+        # 65536 / (128 * 256) = 2
+        assert occupancy(launch, self.SM) == 2
+
+    def test_block_limited(self):
+        launch = _launch(threads_per_block=32, regs_per_thread=8)
+        assert occupancy(launch, self.SM) == self.SM.max_blocks_per_sm
+
+    def test_cannot_fit_rejected(self):
+        launch = _launch(shared_bytes_per_block=200 * 1024)
+        with pytest.raises(ConfigError):
+            occupancy(launch, self.SM)
+
+    def test_a40_tighter_than_a100(self):
+        launch = _launch(shared_bytes_per_block=30 * 1024)
+        assert occupancy(launch, SM_CONFIGS["A40"]) \
+            <= occupancy(launch, SM_CONFIGS["A100"])
+
+
+class TestSimulateKernel:
+    SM = SM_CONFIGS["A100"]
+
+    def test_memory_bound_streaming(self):
+        launch = _launch(grid_blocks=100000)
+        t = simulate_kernel(launch, A100_THETA, self.SM)
+        ideal = 100000 * 128 * 32 / A100_THETA.mem_bw_bytes
+        assert ideal <= t <= ideal * 2
+
+    def test_low_occupancy_slows_kernel(self):
+        fat = _launch(grid_blocks=100000, regs_per_thread=128)
+        slim = _launch(grid_blocks=100000, regs_per_thread=32)
+        assert simulate_kernel(fat, A100_THETA, self.SM) \
+            > simulate_kernel(slim, A100_THETA, self.SM)
+
+    def test_stages_add_latency(self):
+        one = _launch(grid_blocks=100000)
+        nine = _launch(grid_blocks=100000, stages=9)
+        assert simulate_kernel(nine, A100_THETA, self.SM) \
+            > simulate_kernel(one, A100_THETA, self.SM)
+
+    def test_contention_multiplies(self):
+        quiet = _launch(grid_blocks=50000)
+        loud = _launch(grid_blocks=50000, contention="bit-merge")
+        assert simulate_kernel(loud, A100_THETA, self.SM) \
+            > 3 * simulate_kernel(quiet, A100_THETA, self.SM)
+
+    def test_unknown_contention_rejected(self):
+        with pytest.raises(ConfigError):
+            _launch(contention="banked")
+
+    def test_oversized_block_rejected(self):
+        with pytest.raises(ConfigError):
+            _launch(threads_per_block=2048)
+
+
+class TestEmergentRatios:
+    """§VII-C.4's throughput ratios must *emerge* from the geometry."""
+
+    N = 512 ** 3
+    CB = N * 4 // 25
+
+    def _ratio(self, device):
+        t_i = simulate_pipeline("cuszi", self.N, self.CB, device)
+        t_z = simulate_pipeline("cusz", self.N, self.CB, device)
+        return t_z / t_i  # throughput ratio cuszi/cusz
+
+    def test_a100_ratio(self):
+        assert 0.4 <= self._ratio(A100_THETA) <= 0.75
+
+    def test_a40_closer(self):
+        r100 = self._ratio(A100_THETA)
+        r40 = self._ratio(A40_JLSE)
+        assert r40 > r100
+        assert 0.6 <= r40 <= 0.95
+
+    def test_magnitudes_match_roofline_model(self):
+        # the two hardware substitutes must agree within ~2x
+        from repro.gpu.perfmodel import estimate_throughput
+        for codec in ("cusz", "cuszi"):
+            sim = self.N * 4 / simulate_pipeline(codec, self.N, self.CB,
+                                                 A100_THETA) / 1e9
+            roof = estimate_throughput(codec, "compress", self.N, self.CB,
+                                       A100_THETA).throughput_gbps
+            assert 0.5 <= sim / roof <= 2.0, codec
+
+    def test_spline_occupancy_is_the_bottleneck(self):
+        sm = SM_CONFIGS["A100"]
+        launches = {k.name: k for k in pipeline_launches(
+            "cuszi", self.N, self.CB)}
+        spline_occ = occupancy(launches["ginterp-spline"], sm)
+        lorenzo_occ = occupancy(pipeline_launches(
+            "cusz", self.N, self.CB)[0], sm)
+        assert spline_occ < lorenzo_occ
+
+    def test_unknown_codec(self):
+        with pytest.raises(ConfigError):
+            pipeline_launches("cuszp", self.N, self.CB)
+
+    def test_unknown_device(self):
+        from dataclasses import replace
+        dev = replace(A100_THETA, name="H100")
+        with pytest.raises(ConfigError):
+            simulate_pipeline("cusz", self.N, self.CB, dev)

@@ -1,0 +1,97 @@
+"""Unit tests for the prebuilt (static) Huffman codebooks."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CodecError
+from repro.huffman import (STATIC_SPREADS, best_static_profile,
+                           huffman_decode, huffman_encode, static_lengths)
+from repro.huffman.canonical import MAX_CODE_LEN
+
+
+class TestStaticLengths:
+    def test_all_symbols_coded(self):
+        lengths = static_lengths(1024, 512, 2.0)
+        assert (lengths > 0).all()
+        assert lengths.max() <= MAX_CODE_LEN
+
+    def test_center_shortest(self):
+        lengths = static_lengths(1024, 512, 2.0)
+        assert lengths[512] == lengths.min()
+        assert lengths[0] >= lengths[512]
+
+    def test_kraft_valid(self):
+        for spread in STATIC_SPREADS:
+            lengths = static_lengths(1024, 512, spread)
+            assert np.sum(2.0 ** -lengths.astype(float)) <= 1 + 1e-12
+
+    def test_wider_spread_flatter_code(self):
+        tight = static_lengths(1024, 512, 0.5)
+        wide = static_lengths(1024, 512, 64.0)
+        # the wide profile spends more bits at the center bin and fewer on
+        # near-center neighbors (which the tight profile already floors)
+        assert wide[512] >= tight[512]
+        assert wide[500] <= tight[500]
+
+    def test_bad_params(self):
+        with pytest.raises(CodecError):
+            static_lengths(16, 20, 1.0)
+        with pytest.raises(CodecError):
+            static_lengths(16, 8, 0.0)
+
+
+class TestStaticEncode:
+    def test_roundtrip(self, rng):
+        codes = (512 + np.clip(rng.normal(0, 2, 50000), -500, 500)
+                 .round()).astype(np.uint32)
+        lengths = static_lengths(1024, 512, 2.0)
+        stream = huffman_encode(codes, 1024, lengths=lengths)
+        np.testing.assert_array_equal(huffman_decode(stream), codes)
+
+    def test_close_to_dynamic(self, rng):
+        codes = (512 + np.clip(rng.normal(0, 2, 100000), -500, 500)
+                 .round()).astype(np.uint32)
+        spread = best_static_profile(codes, 1024, 512)
+        static = huffman_encode(codes, 1024,
+                                lengths=static_lengths(1024, 512, spread))
+        dynamic = huffman_encode(codes, 1024)
+        assert static.nbytes <= dynamic.nbytes * 1.15
+
+    def test_profile_picks_matching_spread(self, rng):
+        tight = (512 + np.clip(rng.normal(0, 0.4, 20000), -500, 500)
+                 .round()).astype(np.uint32)
+        wide = (512 + np.clip(rng.normal(0, 30, 20000), -500, 500)
+                .round()).astype(np.uint32)
+        assert best_static_profile(tight, 1024, 512) \
+            < best_static_profile(wide, 1024, 512)
+
+    def test_profile_empty_stream(self):
+        assert best_static_profile(np.array([], np.uint32), 1024, 512) \
+            in STATIC_SPREADS
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(CodecError):
+            huffman_encode(np.zeros(4, np.uint32), 1024,
+                           lengths=np.ones(512, np.int64))
+
+    def test_cuszi_static_option(self):
+        import sys
+        sys.path.insert(0, "tests")
+        from conftest import smooth_field
+        from repro.core.pipeline import CuSZi
+        data = smooth_field((32, 32, 32), seed=110)
+        rng_ = float(data.max() - data.min())
+        dyn = CuSZi(eb=1e-3, mode="rel", codebook="dynamic")
+        sta = CuSZi(eb=1e-3, mode="rel", codebook="static")
+        blob_d = dyn.compress(data)
+        blob_s = sta.compress(data)
+        out = CuSZi().decompress(blob_s)  # self-describing either way
+        assert np.abs(out.astype(np.float64)
+                      - data.astype(np.float64)).max() <= 1e-3 * rng_
+        assert len(blob_s) <= len(blob_d) * 1.2
+
+    def test_cuszi_bad_codebook_name(self):
+        from repro.common.errors import ConfigError
+        from repro.core.pipeline import CuSZi
+        with pytest.raises(ConfigError):
+            CuSZi(codebook="magic")

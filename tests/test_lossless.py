@@ -1,0 +1,173 @@
+"""Unit + property tests for the lossless codecs (GLE, bitshuffle, dedup,
+zlib wrapper, registry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CodecError, ConfigError
+from repro.lossless import (GLECodec, ZlibCodec, bitshuffle, bitunshuffle,
+                            get_lossless, gle_compress, gle_decompress)
+from repro.lossless.dedup import (DEDUP_BLOCK, dedup_zero_blocks,
+                                  restore_zero_blocks)
+
+
+class TestGLE:
+    CASES = [
+        b"",
+        b"x",
+        b"abcd" * 3,
+        b"\x00" * 100000,
+        bytes(range(256)) * 100,
+        b"\x00" * 1000 + b"\xff" * 1000 + b"\x00" * 1000,
+        (b"\x01\x02\x03\x04" * 300 + b"\x00" * 4000) * 10,
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(CASES)))
+    def test_roundtrip(self, idx):
+        data = self.CASES[idx]
+        assert gle_decompress(gle_compress(data)) == data
+
+    def test_random_data_near_passthrough(self, rng):
+        data = bytes(rng.integers(0, 256, 50000, dtype=np.uint8))
+        blob = gle_compress(data)
+        assert len(blob) <= len(data) + 17  # frame header only
+        assert gle_decompress(blob) == data
+
+    def test_zero_runs_collapse(self):
+        blob = gle_compress(b"\x00" * 1_000_000)
+        assert len(blob) < 100
+
+    def test_repeated_word_runs_collapse(self):
+        data = b"\xde\xad\xbe\xef" * 100000
+        blob = gle_compress(data)
+        assert len(blob) < 100
+        assert gle_decompress(blob) == data
+
+    def test_unaligned_tail(self):
+        data = b"\x00" * 10001  # not a multiple of 4
+        assert gle_decompress(gle_compress(data)) == data
+
+    def test_small_byte_values_bitpack(self):
+        # stage 2: bytes all < 16 pack at 4 bits
+        rng = np.random.default_rng(0)
+        data = bytes(rng.integers(0, 16, 65536, dtype=np.uint8))
+        blob = gle_compress(data)
+        assert len(blob) < len(data) * 0.6
+        assert gle_decompress(blob) == data
+
+    def test_bad_magic(self):
+        with pytest.raises(CodecError):
+            gle_decompress(b"XXXX" + b"\x00" * 20)
+
+    def test_truncated(self):
+        with pytest.raises(CodecError):
+            gle_decompress(b"GLE")
+
+    def test_codec_object(self):
+        c = GLECodec()
+        assert c.decompress_bytes(c.compress_bytes(b"hi" * 500)) \
+            == b"hi" * 500
+
+    @given(st.binary(max_size=5000))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert gle_decompress(gle_compress(data)) == data
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(1, 400)),
+                    max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_runny_data_property(self, runs):
+        data = b"".join(bytes([v]) * n for v, n in runs)
+        assert gle_decompress(gle_compress(data)) == data
+
+
+class TestBitshuffle:
+    @pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32,
+                                       np.uint64])
+    def test_roundtrip(self, dtype, rng):
+        info = np.iinfo(dtype)
+        vals = rng.integers(0, info.max, 1000, dtype=dtype, endpoint=True)
+        stream = bitshuffle(vals)
+        back = bitunshuffle(stream, dtype, vals.size)
+        np.testing.assert_array_equal(back, vals)
+
+    def test_zero_codes_give_zero_planes(self):
+        vals = np.zeros(256, dtype=np.uint16)
+        vals[0] = 3
+        stream = bitshuffle(vals)
+        # only the lowest 2 bit planes can contain data
+        assert not stream[: (16 - 2) * 256 // 8].any()
+
+    def test_empty(self):
+        assert bitshuffle(np.array([], np.uint16)).size == 0
+        assert bitunshuffle(np.array([], np.uint8), np.uint16, 0).size == 0
+
+    def test_rejects_signed(self):
+        with pytest.raises(CodecError):
+            bitshuffle(np.array([1, -1], np.int32))
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(CodecError):
+            bitunshuffle(np.zeros(1, np.uint8), np.uint16, 100)
+
+
+class TestDedup:
+    def test_roundtrip_mixed(self, rng):
+        data = bytearray(10000)
+        data[5000:5100] = rng.integers(1, 256, 100, dtype=np.uint8).tobytes()
+        data = bytes(data)
+        assert restore_zero_blocks(dedup_zero_blocks(data)) == data
+
+    def test_all_zero_shrinks(self):
+        data = b"\x00" * (DEDUP_BLOCK * 1000)
+        blob = dedup_zero_blocks(data)
+        assert len(blob) < DEDUP_BLOCK * 1000 / 100
+        assert restore_zero_blocks(blob) == data
+
+    def test_empty(self):
+        assert restore_zero_blocks(dedup_zero_blocks(b"")) == b""
+
+    def test_unaligned(self):
+        data = b"\x01" + b"\x00" * 100
+        assert restore_zero_blocks(dedup_zero_blocks(data)) == data
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            restore_zero_blocks(b"\x00\x01")
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert restore_zero_blocks(dedup_zero_blocks(data)) == data
+
+
+class TestZlibAndRegistry:
+    def test_zlib_roundtrip(self):
+        c = ZlibCodec()
+        data = b"spam" * 10000
+        blob = c.compress_bytes(data)
+        assert len(blob) < len(data) / 10
+        assert c.decompress_bytes(blob) == data
+
+    def test_zlib_bad_level(self):
+        with pytest.raises(CodecError):
+            ZlibCodec(level=0)
+
+    def test_zlib_garbage_rejected(self):
+        with pytest.raises(CodecError):
+            ZlibCodec().decompress_bytes(b"not zlib data")
+
+    def test_registry_names(self):
+        assert get_lossless("gle").name == "gle"
+        assert get_lossless("zlib").name == "zlib"
+        assert get_lossless("none").name == "none"
+
+    def test_registry_unknown(self):
+        with pytest.raises(ConfigError):
+            get_lossless("zstd")
+
+    def test_none_is_identity(self):
+        c = get_lossless("none")
+        assert c.decompress_bytes(c.compress_bytes(b"abc")) == b"abc"

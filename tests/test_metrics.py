@@ -1,0 +1,97 @@
+"""Unit tests for repro.common.metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataError
+from repro.common.metrics import (bit_rate, compression_ratio, max_abs_error,
+                                  mse, nrmse, psnr, ssim_3d)
+
+
+class TestPSNR:
+    def test_identical_is_inf(self):
+        d = np.linspace(0, 1, 100).astype(np.float32)
+        assert psnr(d, d) == math.inf
+
+    def test_known_value(self):
+        # range 1, uniform error 0.1 -> psnr = -10 log10(0.01) = 20 dB
+        d = np.linspace(0, 1, 10000)
+        r = d + 0.1
+        assert psnr(d, r) == pytest.approx(20.0, abs=1e-6)
+
+    def test_smaller_error_higher_psnr(self):
+        d = np.linspace(0, 1, 1000)
+        assert psnr(d, d + 1e-4) > psnr(d, d + 1e-2)
+
+    def test_constant_field_mismatch(self):
+        d = np.full(10, 2.0)
+        assert psnr(d, d + 1.0) == -math.inf
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError):
+            psnr(np.zeros(3), np.zeros(4))
+
+
+class TestErrorMetrics:
+    def test_mse(self):
+        assert mse(np.zeros(4), np.full(4, 2.0)) == 4.0
+
+    def test_max_abs_error(self):
+        d = np.array([0.0, 1.0, 2.0])
+        r = np.array([0.5, 1.0, 1.0])
+        assert max_abs_error(d, r) == 1.0
+
+    def test_nrmse(self):
+        d = np.array([0.0, 2.0])
+        r = np.array([1.0, 3.0])
+        assert nrmse(d, r) == pytest.approx(0.5)
+
+    def test_nrmse_constant_exact(self):
+        d = np.full(5, 1.0)
+        assert nrmse(d, d) == 0.0
+
+
+class TestSizeMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+
+    def test_compression_ratio_zero_size(self):
+        with pytest.raises(DataError):
+            compression_ratio(10, 0)
+
+    def test_bit_rate_float32_identity(self):
+        # uncompressed float32 is 32 bits/element
+        assert bit_rate(100, 400) == 32.0
+
+    def test_bit_rate_matches_paper_relation(self):
+        # paper: bit rate = 32 / CR for float32 inputs
+        n, comp = 1 << 20, 123456
+        assert bit_rate(n, comp) == pytest.approx(
+            32.0 / compression_ratio(4 * n, comp))
+
+
+class TestSSIM:
+    def test_identical(self):
+        rng = np.random.default_rng(0)
+        d = rng.random((16, 16, 16))
+        assert ssim_3d(d, d) == pytest.approx(1.0)
+
+    def test_degrades_with_noise(self):
+        rng = np.random.default_rng(0)
+        d = rng.random((21, 21, 21))
+        light = ssim_3d(d, d + rng.normal(0, 0.01, d.shape))
+        heavy = ssim_3d(d, d + rng.normal(0, 0.3, d.shape))
+        assert heavy < light <= 1.0
+
+    def test_window_too_large(self):
+        # non-constant field smaller than the window has no valid blocks
+        d = np.arange(9, dtype=np.float64).reshape(3, 3)
+        with pytest.raises(DataError):
+            ssim_3d(d, d, window=7)
+
+    def test_constant_field_shortcut(self):
+        d = np.zeros((3, 3))
+        assert ssim_3d(d, d, window=7) == 1.0
+        assert ssim_3d(d, d + 1.0, window=7) == 0.0

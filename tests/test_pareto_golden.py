@@ -1,0 +1,92 @@
+"""Pareto experiment tests + golden regression anchors.
+
+The golden tests pin compression ratios on fixed seeds within loose bands:
+they catch accidental algorithm changes (a broken spline, a quantizer
+off-by-one) without being brittle to minor refactors.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import smooth_field
+from repro.experiments.pareto import pareto_front, run as pareto_run
+from repro.registry import get_compressor
+
+
+class TestParetoFront:
+    def test_simple_domination(self):
+        pts = {"a": (10.0, 10.0), "b": (5.0, 5.0), "c": (20.0, 1.0)}
+        front = pareto_front(pts)
+        assert front == {"a", "c"}
+
+    def test_ties_both_kept(self):
+        pts = {"a": (10.0, 10.0), "b": (10.0, 10.0)}
+        assert pareto_front(pts) == {"a", "b"}
+
+    def test_single_point(self):
+        assert pareto_front({"a": (1.0, 1.0)}) == {"a"}
+
+    def test_cuszi_always_on_front(self):
+        # §VII-C.4's closing claim: best-ratio corner of the front
+        result = pareto_run(scale="small")
+        for key, front in result.fronts.items():
+            assert "cuszi" in front, key
+            ds, eb = key
+            ratios = {c: result.points[(ds, eb, c)][1]
+                      for c in ("cuszi", "cusz", "cuszp", "cuszx",
+                                "fzgpu")}
+            assert max(ratios, key=ratios.get) == "cuszi"
+
+    def test_format_renders(self):
+        result = pareto_run(scale="small", ebs=(1e-2,))
+        text = result.format()
+        assert "on front" in text and "cuszi" in text
+
+
+class TestGoldenRatios:
+    """Seeded fields; CR must stay inside a generous band. A failure here
+    means the algorithm changed behaviour, not that the band is wrong."""
+
+    FIELD = staticmethod(lambda: smooth_field((48, 48, 48), seed=4242,
+                                              scale=5.0))
+
+    # (codec, lossless, rel_eb) -> (lo, hi) CR band
+    BANDS = {
+        ("cuszi", "none", 1e-3): (7.0, 15.0),
+        ("cuszi", "gle", 1e-2): (17.0, 38.0),
+        ("cusz", "none", 1e-3): (7.0, 15.0),
+        ("cuszp", "none", 1e-3): (3.0, 7.0),
+        ("cuszx", "none", 1e-3): (2.5, 6.0),
+        ("fzgpu", "none", 1e-3): (4.5, 10.5),
+        ("sz3", "zlib", 1e-3): (10.0, 22.0),
+        ("qoz", "zlib", 1e-3): (10.0, 22.0),
+        ("sz14", "zlib", 1e-3): (7.0, 16.0),
+    }
+
+    @pytest.mark.parametrize("key", sorted(BANDS))
+    def test_ratio_band(self, key):
+        codec, lossless, eb = key
+        data = self.FIELD()
+        comp = get_compressor(codec, eb=eb, mode="rel", lossless=lossless)
+        cr = data.nbytes / len(comp.compress(data))
+        lo, hi = self.BANDS[key]
+        assert lo <= cr <= hi, f"{key}: CR {cr:.2f} outside [{lo}, {hi}]"
+
+    def test_cuzfp_band(self):
+        data = self.FIELD()
+        comp = get_compressor("cuzfp", rate=4.0)
+        blob = comp.compress(data)
+        from repro.common.metrics import psnr
+        quality = psnr(data, comp.decompress(blob))
+        assert 60.0 <= quality <= 110.0
+
+    def test_ordering_stable(self):
+        # the qualitative ordering the whole reproduction rests on
+        data = self.FIELD()
+        sizes = {}
+        for codec in ("cuszi", "cusz", "cuszx"):
+            comp = get_compressor(codec, eb=1e-3, mode="rel",
+                                  lossless="gle")
+            sizes[codec] = len(comp.compress(data))
+        assert sizes["cuszi"] < sizes["cuszx"]
+        assert sizes["cusz"] < sizes["cuszx"]

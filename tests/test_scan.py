@@ -1,0 +1,46 @@
+"""Unit + property tests for the scan idioms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.scan import concat_ranges, segment_offsets
+
+
+class TestConcatRanges:
+    def test_simple(self):
+        np.testing.assert_array_equal(concat_ranges([2, 3]),
+                                      [0, 1, 0, 1, 2])
+
+    def test_with_zeros(self):
+        np.testing.assert_array_equal(concat_ranges([2, 0, 3]),
+                                      [0, 1, 0, 1, 2])
+
+    def test_leading_zero(self):
+        np.testing.assert_array_equal(concat_ranges([0, 2]), [0, 1])
+
+    def test_all_zero(self):
+        assert concat_ranges([0, 0]).size == 0
+
+    def test_empty(self):
+        assert concat_ranges([]).size == 0
+
+    def test_single(self):
+        np.testing.assert_array_equal(concat_ranges([4]), [0, 1, 2, 3])
+
+    @given(st.lists(st.integers(0, 20), max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference(self, counts):
+        expect = np.concatenate(
+            [np.arange(c) for c in counts]) if counts else np.empty(0)
+        got = concat_ranges(counts)
+        np.testing.assert_array_equal(got, expect)
+
+
+class TestSegmentOffsets:
+    def test_simple(self):
+        np.testing.assert_array_equal(segment_offsets([3, 1, 2]),
+                                      [0, 3, 4, 6])
+
+    def test_empty(self):
+        np.testing.assert_array_equal(segment_offsets([]), [0])

@@ -1,0 +1,91 @@
+"""Unit tests for the spline library (paper §V-B.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ginterp.splines import (CUBIC_NAK, CUBIC_NAT, LINEAR,
+                                        NEAREST_LEFT, NEAREST_RIGHT,
+                                        NEIGHBOR_OFFSETS, QUAD_LEFT,
+                                        QUAD_RIGHT, SPLINE_WEIGHTS, classify)
+
+
+def eval_spline(cls, f):
+    """Apply a spline class to samples of f at the neighbor offsets."""
+    neigh = np.array([f(k) for k in NEIGHBOR_OFFSETS])
+    return float(SPLINE_WEIGHTS[cls] @ neigh)
+
+
+class TestWeights:
+    @pytest.mark.parametrize("cls", [CUBIC_NAK, CUBIC_NAT, QUAD_LEFT,
+                                     QUAD_RIGHT, LINEAR, NEAREST_LEFT,
+                                     NEAREST_RIGHT])
+    def test_reproduces_constants(self, cls):
+        # every interpolation must be exact on constant data
+        assert eval_spline(cls, lambda x: 7.5) == pytest.approx(7.5)
+
+    @pytest.mark.parametrize("cls", [CUBIC_NAK, QUAD_LEFT, QUAD_RIGHT,
+                                     LINEAR])
+    def test_reproduces_linear(self, cls):
+        assert eval_spline(cls, lambda x: 3.0 * x + 1.0) \
+            == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("cls", [CUBIC_NAK, QUAD_LEFT, QUAD_RIGHT])
+    def test_reproduces_quadratic(self, cls):
+        assert eval_spline(cls, lambda x: x * x - 2 * x + 3) \
+            == pytest.approx(3.0)
+
+    def test_not_a_knot_exact_on_cubics(self):
+        assert eval_spline(CUBIC_NAK, lambda x: x ** 3 + x ** 2 - x + 2) \
+            == pytest.approx(2.0)
+
+    def test_natural_not_exact_on_cubics(self):
+        # the natural cubic trades polynomial exactness for boundary
+        # smoothness; it must NOT equal the not-a-knot on cubic data
+        nat = eval_spline(CUBIC_NAT, lambda x: x ** 3 + x ** 2)
+        nak = eval_spline(CUBIC_NAK, lambda x: x ** 3 + x ** 2)
+        assert nat != pytest.approx(nak)
+
+    def test_paper_quadratic_right_typo_corrected(self):
+        # the printed (-3/8, 6/8, -1/8) sums to 1/4; the implemented
+        # weights must sum to 1 and mirror the left variant
+        w = SPLINE_WEIGHTS[QUAD_RIGHT]
+        assert w.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(w[::-1], SPLINE_WEIGHTS[QUAD_LEFT])
+
+    def test_all_rows_partition_of_unity(self):
+        np.testing.assert_allclose(SPLINE_WEIGHTS.sum(axis=1), 1.0)
+
+
+class TestClassify:
+    def _one(self, am3, am1, ap1, ap3, variant=CUBIC_NAK):
+        arr = lambda b: np.array([b])  # noqa: E731
+        return int(classify(arr(am3), arr(am1), arr(ap1), arr(ap3),
+                            variant)[0])
+
+    def test_full_neighborhood_cubic(self):
+        assert self._one(True, True, True, True) == CUBIC_NAK
+        assert self._one(True, True, True, True, CUBIC_NAT) == CUBIC_NAT
+
+    def test_three_left(self):
+        assert self._one(True, True, True, False) == QUAD_LEFT
+
+    def test_three_right(self):
+        assert self._one(False, True, True, True) == QUAD_RIGHT
+
+    def test_two(self):
+        assert self._one(False, True, True, False) == LINEAR
+
+    def test_one_left(self):
+        assert self._one(False, True, False, False) == NEAREST_LEFT
+        # a far-left neighbor alone cannot upgrade the class
+        assert self._one(True, True, False, False) == NEAREST_LEFT
+
+    def test_one_right(self):
+        assert self._one(False, False, True, False) == NEAREST_RIGHT
+        assert self._one(False, False, True, True) == NEAREST_RIGHT
+
+    def test_vectorized_shape(self):
+        masks = np.ones((3, 4), dtype=bool)
+        cls = classify(masks, masks, masks, masks, CUBIC_NAK)
+        assert cls.shape == (3, 4)
+        assert (cls == CUBIC_NAK).all()

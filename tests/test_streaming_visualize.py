@@ -1,0 +1,110 @@
+"""Unit tests for slab streaming and the PGM visualization writer."""
+
+import os
+
+import numpy as np
+import pytest
+
+from conftest import assert_error_bounded, smooth_field
+from repro.common.errors import ConfigError, ContainerError, DataError
+from repro.experiments.visualize import slice_to_pgm
+from repro.streaming import (SlabReader, SlabWriter, compress_slabs,
+                             decompress_slabs)
+
+
+class TestStreaming:
+    def test_roundtrip(self):
+        data = smooth_field((40, 32, 28), seed=120)
+        stream = compress_slabs(data, slab_planes=8, codec="cuszi",
+                                eb=0.01, mode="abs")
+        back = decompress_slabs(stream)
+        assert back.shape == data.shape
+        assert_error_bounded(data, back, 0.01)
+
+    def test_uneven_last_slab(self):
+        data = smooth_field((19, 16, 16), seed=121)
+        stream = compress_slabs(data, slab_planes=8, eb=0.01, mode="abs")
+        assert len(SlabReader(stream)) == 3
+        np.testing.assert_array_equal(decompress_slabs(stream).shape,
+                                      data.shape)
+
+    def test_random_slab_access(self):
+        data = smooth_field((24, 20, 20), seed=122)
+        stream = compress_slabs(data, slab_planes=6, eb=0.01, mode="abs")
+        reader = SlabReader(stream)
+        slab2 = reader.read_slab(2)
+        assert_error_bounded(data[12:18], slab2, 0.01)
+
+    def test_rel_mode_needs_range(self):
+        with pytest.raises(ConfigError):
+            SlabWriter(eb=1e-3, mode="rel")
+
+    def test_rel_mode_with_known_range(self):
+        data = smooth_field((16, 16, 16), seed=123)
+        rng = float(data.max() - data.min())
+        w = SlabWriter(eb=1e-3, mode="rel", value_range=rng)
+        w.append(data[:8])
+        w.append(data[8:])
+        back = decompress_slabs(w.finish())
+        assert_error_bounded(data, back, 1e-3 * rng)
+
+    def test_cross_section_mismatch(self):
+        w = SlabWriter(eb=0.01)
+        w.append(np.zeros((4, 8, 8), np.float32) + 1)
+        with pytest.raises(ConfigError):
+            w.append(np.zeros((4, 8, 9), np.float32))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            SlabWriter(eb=0.01).finish()
+
+    def test_garbage_stream_rejected(self):
+        with pytest.raises(ContainerError):
+            SlabReader(b"???")
+        data = smooth_field((8, 8, 8), seed=124)
+        stream = compress_slabs(data, slab_planes=4, eb=0.01)
+        with pytest.raises(ContainerError):
+            SlabReader(stream[:-5])
+
+    def test_per_slab_codec_choice(self):
+        data = smooth_field((16, 12, 12), seed=125)
+        stream = compress_slabs(data, slab_planes=8, codec="cusz",
+                                eb=0.01, mode="abs")
+        back = decompress_slabs(stream)
+        assert_error_bounded(data, back, 0.01)
+
+
+class TestPGM:
+    def test_writes_valid_header(self, tmp_path):
+        arr = np.linspace(0, 1, 12).reshape(3, 4)
+        path = tmp_path / "x.pgm"
+        slice_to_pgm(arr, str(path))
+        raw = path.read_bytes()
+        assert raw.startswith(b"P5\n4 3\n255\n")
+        assert len(raw) == len(b"P5\n4 3\n255\n") + 12
+
+    def test_value_mapping(self, tmp_path):
+        arr = np.array([[0.0, 1.0]])
+        path = tmp_path / "y.pgm"
+        slice_to_pgm(arr, str(path))
+        pixels = path.read_bytes()[-2:]
+        assert pixels == bytes([0, 255])
+
+    def test_constant_slice(self, tmp_path):
+        path = tmp_path / "z.pgm"
+        slice_to_pgm(np.full((2, 2), 5.0), str(path))
+        assert path.read_bytes()[-4:] == bytes(4)
+
+    def test_rejects_3d(self, tmp_path):
+        with pytest.raises(DataError):
+            slice_to_pgm(np.zeros((2, 2, 2)), str(tmp_path / "n.pgm"))
+
+    def test_fig8_slice_dump(self, tmp_path):
+        from repro.experiments import fig8
+        from repro.experiments.visualize import save_fig8_slices
+        result = fig8.run(scale="small", save_slices=True)
+        written = save_fig8_slices(result, str(tmp_path))
+        assert any("original" in p for p in written)
+        assert any("_error" in p for p in written)
+        for p in written:
+            assert os.path.getsize(p) > 100

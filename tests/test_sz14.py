@@ -1,0 +1,85 @@
+"""Unit tests for the classic (error-feedback) CPU Lorenzo compressor."""
+
+import numpy as np
+import pytest
+
+from conftest import EB_SLACK, assert_error_bounded, smooth_field
+from repro.baselines.sz14 import SZ14, wavefront_planes
+from repro.common.metrics import psnr
+from repro.registry import get_compressor
+
+
+class TestWavefront:
+    @pytest.mark.parametrize("shape", [(5,), (4, 3), (3, 4, 2)])
+    def test_covers_every_point_once(self, shape):
+        seen = np.zeros(int(np.prod(shape)), dtype=int)
+        for flat, _, _ in wavefront_planes(shape):
+            seen[flat] += 1
+        assert (seen == 1).all()
+
+    def test_neighbors_precede_targets(self):
+        # every neighbor must belong to an earlier diagonal
+        shape = (4, 5, 3)
+        coords_sum = np.indices(shape).sum(axis=0).ravel()
+        for flat, neighbor_flats, _ in wavefront_planes(shape):
+            s = coords_sum[flat]
+            for nflat in neighbor_flats:
+                ok = nflat >= 0
+                assert (coords_sum[nflat[ok]] < s[ok]).all()
+
+    def test_stencil_signs_inclusion_exclusion(self):
+        # 3D stencil: 7 terms, signs summing to +1
+        gen = wavefront_planes((2, 2, 2))
+        _, neighbor_flats, signs = next(gen)
+        assert len(signs) == 7
+        assert sum(signs) == 1.0
+
+    def test_first_plane_is_origin(self):
+        flat, neighbor_flats, _ = next(wavefront_planes((3, 3)))
+        assert list(flat) == [0]
+        assert all((n < 0).all() for n in neighbor_flats)
+
+
+class TestSZ14:
+    def test_roundtrip_bound_3d(self):
+        data = smooth_field((24, 26, 22), seed=80)
+        rng = float(data.max() - data.min())
+        c = SZ14(eb=1e-3, mode="rel")
+        assert_error_bounded(data, c.decompress(c.compress(data)),
+                             1e-3 * rng)
+
+    @pytest.mark.parametrize("shape", [(200,), (32, 40)])
+    def test_roundtrip_lower_dims(self, shape):
+        data = smooth_field(shape, seed=81)
+        rng = float(data.max() - data.min())
+        c = SZ14(eb=1e-2, mode="rel")
+        assert_error_bounded(data, c.decompress(c.compress(data)),
+                             1e-2 * rng)
+
+    def test_registered(self):
+        c = get_compressor("sz14", eb=1e-3)
+        assert c.name == "sz14"
+
+    def test_tracks_dual_quant_psnr(self):
+        # classic and dual-quant Lorenzo should land within ~1 dB
+        data = smooth_field((32, 32, 32), seed=82)
+        c14 = SZ14(eb=1e-3, mode="rel")
+        cz = get_compressor("cusz", eb=1e-3, mode="rel")
+        p14 = psnr(data, c14.decompress(c14.compress(data)))
+        pz = psnr(data, cz.decompress(cz.compress(data)))
+        assert abs(p14 - pz) < 1.5
+
+    def test_feedback_beats_dual_quant_ratio(self):
+        # error feedback avoids the dual-quant lattice noise, so classic
+        # Lorenzo compresses smooth data at least as well
+        data = smooth_field((40, 40, 40), seed=83, scale=6.0)
+        c14 = SZ14(eb=1e-2, mode="rel", lossless="none")
+        cz = get_compressor("cusz", eb=1e-2, mode="rel", lossless="none")
+        assert len(c14.compress(data)) <= len(cz.compress(data)) * 1.05
+
+    def test_self_describing(self):
+        from repro import decompress
+        data = smooth_field((20, 20, 20), seed=84)
+        rng = float(data.max() - data.min())
+        blob = SZ14(eb=1e-3, mode="rel").compress(data)
+        assert_error_bounded(data, decompress(blob), 1e-3 * rng)

@@ -1,0 +1,56 @@
+"""Unit tests for the distributed-transfer simulator (Fig. 10 substrate)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.gpu import A40_JLSE
+from repro.transfer import (THETA_TO_ANVIL, TransferLink, simulate_transfer)
+
+
+class TestLink:
+    def test_paper_link(self):
+        assert THETA_TO_ANVIL.bandwidth_gbps == 1.0
+
+    def test_wire_time(self):
+        link = TransferLink("t", bandwidth_gbps=2.0, setup_latency_s=0.5)
+        assert link.wire_time(4 * 10 ** 9) == pytest.approx(2.5)
+
+    def test_negative_payload(self):
+        with pytest.raises(ConfigError):
+            THETA_TO_ANVIL.wire_time(-1)
+
+
+class TestSimulation:
+    N = 512 ** 3
+
+    def test_breakdown_sums(self):
+        plan = simulate_transfer("cuszi", self.N, self.N * 4 // 30)
+        assert plan.total_s == pytest.approx(
+            plan.compress_s + plan.wire_s + plan.decompress_s)
+        assert plan.compress_s > 0 and plan.decompress_s > 0
+
+    def test_higher_ratio_less_wire_time(self):
+        lo = simulate_transfer("cuszi", self.N, self.N * 4 // 5)
+        hi = simulate_transfer("cuszi", self.N, self.N * 4 // 100)
+        assert hi.wire_s < lo.wire_s
+        assert hi.total_s < lo.total_s
+
+    def test_high_ratio_wins_despite_slower_codec(self):
+        # the paper's core point: cuSZ-i's ratio advantage beats its kernel
+        # slowdown on a 1 GB/s link
+        cuszi = simulate_transfer("cuszi", self.N, self.N * 4 // 100)
+        cuszx = simulate_transfer("cuszx", self.N, self.N * 4 // 6)
+        assert cuszi.total_s < cuszx.total_s
+
+    def test_asymmetric_devices(self):
+        plan = simulate_transfer("cusz", self.N, self.N * 4 // 20,
+                                 dst_device=A40_JLSE)
+        base = simulate_transfer("cusz", self.N, self.N * 4 // 20)
+        assert plan.decompress_s > base.decompress_s
+        assert plan.compress_s == pytest.approx(base.compress_s)
+
+    def test_wire_dominates_on_slow_link(self):
+        slow = TransferLink("slow", bandwidth_gbps=0.05)
+        plan = simulate_transfer("cusz", self.N, self.N * 4 // 10,
+                                 link=slow)
+        assert plan.wire_s > 10 * (plan.compress_s + plan.decompress_s)
