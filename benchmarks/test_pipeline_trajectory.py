@@ -1,0 +1,60 @@
+"""Opt-in machine-readable perf trajectory: ``BENCH_pipeline.json``.
+
+Set ``REPRO_BENCH_EMIT=1`` (or ``REPRO_BENCH_EMIT=/path/to/file.json``)
+to time compress/decompress on one fixed seeded Nyx field per codec and
+write the results as JSON. The file is a stable, diffable record —
+future PRs rerun this and compare against the committed/archived numbers
+to catch wall-time or ratio regressions without parsing pytest logs.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+EMIT = os.environ.get("REPRO_BENCH_EMIT", "")
+
+#: codecs timed for the trajectory; the cuSZ-i pipeline plus the fast
+#: Lorenzo baselines most likely to regress from shared-substrate edits
+CODECS = ("cuszi", "cusz", "cuszp", "fzgpu")
+FIELD = ("nyx", "baryon_density", (64, 64, 64))
+EB = 1e-3
+
+
+@pytest.mark.skipif(not EMIT, reason="set REPRO_BENCH_EMIT=1 (or a path) "
+                                     "to emit BENCH_pipeline.json")
+def test_emit_pipeline_trajectory():
+    from repro.datasets import load_field
+    from repro.registry import get_compressor
+
+    dataset, field, shape = FIELD
+    data = load_field(dataset, field, shape=shape)
+    results = {}
+    for codec in CODECS:
+        comp = get_compressor(codec, eb=EB, mode="rel", lossless="none")
+        t0 = time.perf_counter()
+        blob = comp.compress(data)
+        t1 = time.perf_counter()
+        recon = comp.decompress(blob)
+        t2 = time.perf_counter()
+        assert recon.shape == data.shape
+        results[codec] = {
+            "compress_s": round(t1 - t0, 6),
+            "decompress_s": round(t2 - t1, 6),
+            "ratio": round(data.nbytes / len(blob), 4),
+            "compressed_bytes": len(blob),
+        }
+    doc = {
+        "schema": 1,
+        "field": {"dataset": dataset, "name": field,
+                  "shape": list(shape)},
+        "eb": EB,
+        "mode": "rel",
+        "results": results,
+    }
+    path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"\nwrote perf trajectory for {len(results)} codecs -> {path}")

@@ -3,8 +3,9 @@
 ``repro compress``/``decompress`` operate on raw binary float dumps (the
 SDRBench convention: little-endian float32, C order, dims given on the
 command line), ``repro info`` inspects an archive, ``repro gen`` writes a
-synthetic dataset field, and ``repro bench`` forwards to the experiment
-runner.
+synthetic dataset field, ``repro trace`` pretty-prints a telemetry trace
+(``--trace`` on compress/decompress records one), and ``repro bench``
+forwards to the experiment runner.
 """
 
 from __future__ import annotations
@@ -16,11 +17,13 @@ import numpy as np
 
 from repro import compress as api_compress
 from repro import decompress as api_decompress
+from repro import telemetry
 from repro.common.container import parse_container
 from repro.common.lossless_wrap import unwrap_lossless
 from repro.common.metrics import compression_ratio
 from repro.datasets import get_dataset, dataset_names
 from repro.registry import available
+from repro.telemetry import exporters
 
 
 def _parse_dims(text: str) -> tuple[int, ...]:
@@ -28,6 +31,12 @@ def _parse_dims(text: str) -> tuple[int, ...]:
     if not dims or any(d < 1 for d in dims):
         raise argparse.ArgumentTypeError(f"bad dims {text!r}")
     return dims
+
+
+def _write_trace(registry, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(exporters.to_jsonl(registry))
+    print(f"trace: {len(registry.spans)} spans -> {path}")
 
 
 def _cmd_compress(args) -> int:
@@ -44,9 +53,18 @@ def _cmd_compress(args) -> int:
     else:
         kwargs.update(eb=args.eb, mode=args.mode)
     kwargs["lossless"] = args.lossless
-    blob = api_compress(data, codec=args.codec, **kwargs)
+    if args.trace:
+        with telemetry.recording() as reg:
+            blob = api_compress(data, codec=args.codec, **kwargs)
+    else:
+        reg = None
+        blob = api_compress(data, codec=args.codec, **kwargs)
     with open(args.output, "wb") as f:
         f.write(blob)
+    if reg is not None:
+        # archive first, trace second: a bad --trace path must not lose
+        # the compressed output
+        _write_trace(reg, args.trace)
     print(f"{args.input}: {data.nbytes} -> {len(blob)} bytes "
           f"(CR {compression_ratio(data.nbytes, len(blob)):.2f})")
     return 0
@@ -55,10 +73,42 @@ def _cmd_compress(args) -> int:
 def _cmd_decompress(args) -> int:
     with open(args.input, "rb") as f:
         blob = f.read()
-    out = api_decompress(blob)
-    out.astype(np.float32).tofile(args.output)
+    if args.trace:
+        with telemetry.recording() as reg:
+            out = api_decompress(blob)
+    else:
+        reg = None
+        out = api_decompress(blob)
+    # write the container's recorded dtype verbatim — silently casting a
+    # float64 archive to float32 would break the error bound on disk
+    out.tofile(args.output)
+    if reg is not None:
+        _write_trace(reg, args.trace)
     print(f"{args.input}: reconstructed {out.shape} {out.dtype} "
           f"-> {args.output}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    with open(args.input) as f:
+        reg = exporters.from_jsonl(f.read())
+    if args.format == "prom":
+        print(exporters.to_prometheus(reg), end="")
+    else:
+        print(exporters.render_tree(reg.spans, max_depth=args.depth))
+    if args.crosscheck:
+        from repro.common.errors import ConfigError
+        from repro.telemetry.crosscheck import crosscheck
+        try:
+            reports = [crosscheck(reg.spans, device)
+                       for device in ("a100", "a40")]
+        except ConfigError as exc:
+            print(f"error: cannot cross-check this trace: {exc}",
+                  file=sys.stderr)
+            return 1
+        for report in reports:
+            print()
+            print(report.format())
     return 0
 
 
@@ -144,12 +194,27 @@ def main(argv=None) -> int:
                    help="bits/value for cuzfp")
     p.add_argument("--lossless", default="gle",
                    choices=("none", "gle", "zlib"))
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="record a JSONL telemetry trace of the run")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress an archive")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="record a JSONL telemetry trace of the run")
     p.set_defaults(func=_cmd_decompress)
+
+    p = sub.add_parser("trace", help="pretty-print a JSONL telemetry "
+                                     "trace (see docs/OBSERVABILITY.md)")
+    p.add_argument("input")
+    p.add_argument("--format", choices=("tree", "prom"), default="tree")
+    p.add_argument("--depth", type=int, default=None,
+                   help="limit the span tree depth")
+    p.add_argument("--crosscheck", action="store_true",
+                   help="compare measured stage shares against the "
+                        "modelled A100/A40 kernel inventories")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("info", help="inspect an archive header")
     p.add_argument("input")

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import struct
 
+from repro import telemetry
 from repro.common.container import parse_container
 from repro.common.errors import ContainerError
 from repro.lossless import get_lossless
@@ -26,9 +27,13 @@ _MAGIC = b"RPW1"
 def wrap_lossless(container: bytes, lossless: str) -> bytes:
     """Apply the named lossless pass over a container blob and frame it."""
     codec = get_lossless(lossless)
-    payload = codec.compress_bytes(container)
-    name = codec.name.encode("utf-8")
-    return _MAGIC + struct.pack("<B", len(name)) + name + payload
+    with telemetry.span("lossless.wrap", codec=codec.name,
+                        bytes_in=len(container)) as sp:
+        payload = codec.compress_bytes(container)
+        name = codec.name.encode("utf-8")
+        blob = _MAGIC + struct.pack("<B", len(name)) + name + payload
+        sp.set(bytes_out=len(blob))
+    return blob
 
 
 def unwrap_lossless(blob: bytes) -> bytes:
@@ -40,7 +45,11 @@ def unwrap_lossless(blob: bytes) -> bytes:
         raise ContainerError("truncated lossless wrap frame")
     name = blob[5:5 + nlen].decode("utf-8")
     codec = get_lossless(name)
-    return codec.decompress_bytes(blob[5 + nlen:])
+    with telemetry.span("lossless.unwrap", codec=name,
+                        bytes_in=len(blob)) as sp:
+        inner = codec.decompress_bytes(blob[5 + nlen:])
+        sp.set(bytes_out=len(inner))
+    return inner
 
 
 def peek_codec(blob: bytes) -> str:

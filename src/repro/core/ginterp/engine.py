@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.errors import ConfigError
 from repro.common.quantizer import LinearQuantizer
 from repro.core.ginterp.anchors import apply_anchors, extract_anchors
@@ -270,14 +271,22 @@ def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
     sizes: list[int] = []
     orig_flat = data.ravel()
     for p in pass_plan(data.ndim, spec):
-        flat, pred = _pass_predict(work_flat, data.shape, spec, p)
-        sizes.append(flat.size)
-        if flat.size == 0:
-            continue
-        res = quantizer.quantize(orig_flat[flat], pred, ebs[p.level])
-        work_flat[flat] = res.reconstructed
-        codes_parts.append(res.codes)
-        outlier_parts.append(res.outlier_values)
+        # one span per level/axis pass, mirroring one GPU kernel launch
+        with telemetry.span("ginterp.pass", level=p.level, axis=p.axis,
+                            stride=p.stride) as psp:
+            with telemetry.span("ginterp.gather"):
+                flat, pred = _pass_predict(work_flat, data.shape, spec, p)
+            sizes.append(flat.size)
+            psp.set(targets=int(flat.size))
+            if flat.size == 0:
+                continue
+            with telemetry.span("ginterp.quantize", level=p.level):
+                res = quantizer.quantize(orig_flat[flat], pred,
+                                         ebs[p.level])
+            work_flat[flat] = res.reconstructed
+            codes_parts.append(res.codes)
+            outlier_parts.append(res.outlier_values)
+            telemetry.observe("ginterp.pass_targets", flat.size)
 
     codes = (np.concatenate(codes_parts) if codes_parts
              else np.empty(0, np.uint32))
@@ -309,12 +318,17 @@ def interp_decompress(shape: tuple[int, ...], spec: InterpSpec, eb: float,
     cursor = 0
     out_cursor = 0
     for p in pass_plan(len(shape), spec):
-        flat, pred = _pass_predict(work_flat, shape, spec, p)
-        if flat.size == 0:
-            continue
-        pass_codes = codes[cursor:cursor + flat.size]
-        cursor += flat.size
-        recon, out_cursor = quantizer.dequantize(
-            pass_codes, pred, ebs[p.level], outliers, out_cursor)
-        work_flat[flat] = recon
+        with telemetry.span("ginterp.pass", level=p.level, axis=p.axis,
+                            stride=p.stride) as psp:
+            with telemetry.span("ginterp.gather"):
+                flat, pred = _pass_predict(work_flat, shape, spec, p)
+            psp.set(targets=int(flat.size))
+            if flat.size == 0:
+                continue
+            pass_codes = codes[cursor:cursor + flat.size]
+            cursor += flat.size
+            with telemetry.span("ginterp.dequantize", level=p.level):
+                recon, out_cursor = quantizer.dequantize(
+                    pass_codes, pred, ebs[p.level], outliers, out_cursor)
+            work_flat[flat] = recon
     return work

@@ -10,9 +10,12 @@ decompressor must replay the traversal without the original data.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro import telemetry
 
 from repro.common.arrayutils import (crop_to_shape, pad_to_grid,
                                      validate_field, value_range)
@@ -72,10 +75,16 @@ class CompressionStats:
 
     @property
     def ratio(self) -> float:
+        if self.compressed_nbytes <= 0:
+            # degenerate accounting (e.g. hand-built stats): an empty
+            # archive of empty input is a no-op, not a division error
+            return math.inf if self.original_nbytes > 0 else 1.0
         return self.original_nbytes / self.compressed_nbytes
 
     @property
     def bit_rate(self) -> float:
+        if self.n_elements <= 0:
+            return 0.0
         return 8.0 * self.compressed_nbytes / self.n_elements
 
 
@@ -199,29 +208,57 @@ class CuSZi:
     def compress_detailed(self, data: np.ndarray
                           ) -> tuple[bytes, CompressionStats]:
         """Compress and report byte-level accounting."""
+        with telemetry.span("compress", codec=self.name) as root:
+            return self._compress_traced(data, root)
+
+    def _compress_traced(self, data: np.ndarray, root
+                         ) -> tuple[bytes, CompressionStats]:
         data = validate_field(data)
         abs_eb = resolve_eb(data, self.eb, self.mode)
         quantizer = LinearQuantizer(self.radius, value_dtype=data.dtype)
 
         stride, _window = self._geometry(data.ndim)
         padded = pad_to_grid(data, stride) if self.pad else data
-        spec, tuning = self._build_spec(padded, abs_eb)
-        result = interp_compress(padded, spec, abs_eb, quantizer)
-        if self.codebook == "static":
-            # prebuilt two-sided-geometric codebook (§VI-A, ref [37]):
-            # skips the histogram + tree build at a small ratio cost
-            spread = best_static_profile(result.codes, quantizer.n_codes,
-                                         self.radius)
-            lengths = static_lengths(quantizer.n_codes, self.radius,
-                                     spread)
-        else:
-            lengths = None
-        stream = huffman_encode(result.codes, quantizer.n_codes,
-                                self.huffman_chunk, lengths=lengths)
+        with telemetry.span("tune", enabled=self.tune):
+            spec, tuning = self._build_spec(padded, abs_eb)
+        with telemetry.span("predict", bytes_in=data.nbytes) as sp:
+            result = interp_compress(padded, spec, abs_eb, quantizer)
+            sp.set(segment="anchors",
+                   segment_nbytes=result.anchors.nbytes,
+                   codes_nbytes=result.codes.nbytes,
+                   n_passes=len(result.pass_sizes))
+        with telemetry.span("quantize") as sp:
+            # quantization proper is fused into the predict traversal
+            # (as on the GPU — see the ginterp.quantize child spans);
+            # this sibling accounts for its side channel, the
+            # stream-compacted outliers, and the anchor serialization
+            outlier_seg = result.outliers.tobytes()
+            anchor_seg = result.anchors.tobytes()
+            sp.set(segment="outliers", segment_nbytes=len(outlier_seg),
+                   n_outliers=int(result.outliers.size))
+            telemetry.incr("outliers", int(result.outliers.size))
+        with telemetry.span("huffman",
+                            bytes_in=result.codes.nbytes) as sp:
+            if self.codebook == "static":
+                # prebuilt two-sided-geometric codebook (§VI-A, ref
+                # [37]): skips the histogram + tree build at a small
+                # ratio cost
+                spread = best_static_profile(result.codes,
+                                             quantizer.n_codes,
+                                             self.radius)
+                lengths = static_lengths(quantizer.n_codes, self.radius,
+                                         spread)
+            else:
+                lengths = None
+            stream = huffman_encode(result.codes, quantizer.n_codes,
+                                    self.huffman_chunk, lengths=lengths)
+            huff_seg = stream.to_bytes()
+            sp.set(segment="huffman", segment_nbytes=len(huff_seg),
+                   bytes_out=len(huff_seg))
         segments = {
-            "huffman": stream.to_bytes(),
-            "outliers": result.outliers.tobytes(),
-            "anchors": result.anchors.tobytes(),
+            "huffman": huff_seg,
+            "outliers": outlier_seg,
+            "anchors": anchor_seg,
         }
         meta = {
             "shape": list(data.shape),
@@ -232,8 +269,16 @@ class CuSZi:
             "n_outliers": int(result.outliers.size),
             "spec": spec.to_meta(),
         }
-        inner = build_container(self.name, meta, segments)
-        blob = wrap_lossless(inner, self.lossless)
+        with telemetry.span("container") as sp:
+            inner = build_container(self.name, meta, segments)
+            sp.set(bytes_out=len(inner))
+        with telemetry.span("lossless", codec=self.lossless,
+                            bytes_in=len(inner)) as sp:
+            blob = wrap_lossless(inner, self.lossless)
+            sp.set(bytes_out=len(blob))
+        root.set(n_elements=data.size, bytes_in=data.nbytes,
+                 compressed_nbytes=len(blob), lossless=self.lossless,
+                 abs_eb=abs_eb)
         stats = CompressionStats(
             n_elements=data.size,
             original_nbytes=data.nbytes,
@@ -251,27 +296,44 @@ class CuSZi:
 
     def decompress(self, blob: bytes) -> np.ndarray:
         """Reconstruct the field from a cuSZ-i blob."""
-        inner = unwrap_lossless(blob)
-        codec, meta, segments = parse_container(inner)
-        if codec != self.name:
-            raise CodecError(f"blob codec {codec!r} is not {self.name!r}")
-        shape = tuple(meta["shape"])
-        padded_shape = tuple(meta["padded_shape"])
-        dtype = np.dtype(meta["dtype"])
-        abs_eb = float(meta["abs_eb"])
-        radius = int(meta["radius"])
-        spec = InterpSpec.from_meta(meta["spec"])
-        quantizer = LinearQuantizer(radius, value_dtype=dtype)
+        with telemetry.span("decompress", codec=self.name,
+                            compressed_nbytes=len(blob)) as root:
+            with telemetry.span("lossless", bytes_in=len(blob)) as sp:
+                inner = unwrap_lossless(blob)
+                sp.set(bytes_out=len(inner))
+            with telemetry.span("container", bytes_in=len(inner)):
+                codec, meta, segments = parse_container(inner)
+            if codec != self.name:
+                raise CodecError(
+                    f"blob codec {codec!r} is not {self.name!r}")
+            shape = tuple(meta["shape"])
+            padded_shape = tuple(meta["padded_shape"])
+            dtype = np.dtype(meta["dtype"])
+            abs_eb = float(meta["abs_eb"])
+            radius = int(meta["radius"])
+            spec = InterpSpec.from_meta(meta["spec"])
+            quantizer = LinearQuantizer(radius, value_dtype=dtype)
 
-        stream = HuffmanStream.from_bytes(segments["huffman"])
-        codes = huffman_decode(stream)
-        outliers = np.frombuffer(segments["outliers"], dtype=dtype)
-        if outliers.size != int(meta["n_outliers"]):
-            raise CodecError("outlier segment size mismatch")
-        anchor_shape = tuple(-(-n // spec.anchor_stride)
-                             for n in padded_shape)
-        anchors = np.frombuffer(segments["anchors"],
-                                dtype=dtype).reshape(anchor_shape)
-        work = interp_decompress(padded_shape, spec, abs_eb, codes,
-                                 outliers, anchors, quantizer)
-        return crop_to_shape(work, shape).astype(dtype)
+            with telemetry.span(
+                    "huffman", bytes_in=len(segments["huffman"])) as sp:
+                stream = HuffmanStream.from_bytes(segments["huffman"])
+                codes = huffman_decode(stream)
+                sp.set(bytes_out=codes.nbytes)
+            outliers = np.frombuffer(segments["outliers"], dtype=dtype)
+            if outliers.size != int(meta["n_outliers"]):
+                raise CodecError("outlier segment size mismatch")
+            anchor_shape = tuple(-(-n // spec.anchor_stride)
+                                 for n in padded_shape)
+            anchors = np.frombuffer(segments["anchors"],
+                                    dtype=dtype).reshape(anchor_shape)
+            with telemetry.span("predict") as sp:
+                work = interp_decompress(padded_shape, spec, abs_eb,
+                                         codes, outliers, anchors,
+                                         quantizer)
+                sp.set(bytes_out=work.size * dtype.itemsize)
+            out = crop_to_shape(work, shape).astype(dtype)
+            lossless = (blob[5:5 + blob[4]].decode("utf-8", "replace")
+                        if len(blob) > 5 else "none")
+            root.set(n_elements=out.size, bytes_out=out.nbytes,
+                     lossless=lossless, abs_eb=abs_eb)
+            return out

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.errors import ConfigError
 from repro.common.metrics import bit_rate, max_abs_error, psnr
 from repro.datasets import get_dataset, dataset_names
@@ -55,9 +56,17 @@ def run_codec(codec: str, data: np.ndarray, *, dataset: str = "",
                               **kwargs)
     else:
         comp = get_compressor(codec, lossless=lossless, **kwargs)
-    blob = comp.compress(data)
+    with telemetry.span("experiment.compress", codec=codec,
+                        dataset=dataset, field=field,
+                        bytes_in=data.nbytes) as sp:
+        blob = comp.compress(data)
+        sp.set(bytes_out=len(blob))
+    telemetry.incr("experiment.runs")
     if verify:
-        recon = comp.decompress(blob)
+        with telemetry.span("experiment.decompress", codec=codec,
+                            dataset=dataset, field=field,
+                            bytes_in=len(blob)):
+            recon = comp.decompress(blob)
         quality = psnr(data, recon)
         err = max_abs_error(data, recon)
     else:

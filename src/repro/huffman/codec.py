@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.errors import CodecError
 from repro.huffman.canonical import (MAX_CODE_LEN, build_decode_table,
                                      canonical_codebook)
@@ -89,46 +90,54 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
         raise CodecError("chunk size must be >= 1")
     codes = np.asarray(codes, dtype=np.uint32).ravel()
     n = codes.size
-    if lengths is None:
-        freqs = histogram(codes, alphabet_size)
-        lengths = code_lengths(freqs, MAX_CODE_LEN)
-    else:
-        lengths = np.asarray(lengths, dtype=np.int64)
-        if lengths.size != alphabet_size:
-            raise CodecError("static codebook size mismatch")
-        if n and int(lengths[codes].min(initial=1)) == 0:
-            raise CodecError("static codebook lacks a code for a symbol")
-    codebook = canonical_codebook(lengths)
+    with telemetry.span("huffman.codebook", n_symbols=n,
+                        alphabet=alphabet_size,
+                        static=lengths is not None):
+        if lengths is None:
+            freqs = histogram(codes, alphabet_size)
+            lengths = code_lengths(freqs, MAX_CODE_LEN)
+        else:
+            lengths = np.asarray(lengths, dtype=np.int64)
+            if lengths.size != alphabet_size:
+                raise CodecError("static codebook size mismatch")
+            if n and int(lengths[codes].min(initial=1)) == 0:
+                raise CodecError(
+                    "static codebook lacks a code for a symbol")
+        codebook = canonical_codebook(lengths)
     if n == 0:
         return HuffmanStream(0, alphabet_size, chunk_size,
                              lengths.astype(np.uint8),
                              np.empty(0, np.uint32), np.empty(0, np.uint8),
                              crc32=0)
 
-    sym_len = lengths[codes]                       # int64 per-symbol lengths
-    sym_code = codebook[codes].astype(np.int64)
-    n_chunks = -(-n // chunk_size)
-    bounds = np.arange(0, n_chunks * chunk_size, chunk_size)
+    with telemetry.span("huffman.pack", n_symbols=n) as sp:
+        sym_len = lengths[codes]                   # int64 per-symbol lengths
+        sym_code = codebook[codes].astype(np.int64)
+        n_chunks = -(-n // chunk_size)
+        bounds = np.arange(0, n_chunks * chunk_size, chunk_size)
 
-    cum = np.cumsum(sym_len)
-    start_global = cum - sym_len                   # bit offset if unchunked
-    chunk_first = start_global[bounds]             # first symbol's offset
-    ends = np.minimum(bounds + chunk_size, n)
-    chunk_bits = (cum[ends - 1] - chunk_first).astype(np.uint32)
-    chunk_bytes = -(-chunk_bits.astype(np.int64) // 8)
-    chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
+        cum = np.cumsum(sym_len)
+        start_global = cum - sym_len               # bit offset if unchunked
+        chunk_first = start_global[bounds]         # first symbol's offset
+        ends = np.minimum(bounds + chunk_size, n)
+        chunk_bits = (cum[ends - 1] - chunk_first).astype(np.uint32)
+        chunk_bytes = -(-chunk_bits.astype(np.int64) // 8)
+        chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
 
-    within = start_global - np.repeat(chunk_first, ends - bounds)
-    pos = within + np.repeat(chunk_byte_off[:-1] * 8, ends - bounds)
+        within = start_global - np.repeat(chunk_first, ends - bounds)
+        pos = within + np.repeat(chunk_byte_off[:-1] * 8, ends - bounds)
 
-    total_bytes = int(chunk_byte_off[-1])
-    bits = np.zeros(total_bytes * 8, dtype=np.uint8)
-    max_len = int(sym_len.max())
-    for b in range(max_len):
-        mask = sym_len > b
-        shift = sym_len[mask] - 1 - b
-        bits[pos[mask] + b] = ((sym_code[mask] >> shift) & 1).astype(np.uint8)
-    payload = np.packbits(bits) if total_bytes else np.empty(0, np.uint8)
+        total_bytes = int(chunk_byte_off[-1])
+        bits = np.zeros(total_bytes * 8, dtype=np.uint8)
+        max_len = int(sym_len.max())
+        for b in range(max_len):
+            mask = sym_len > b
+            shift = sym_len[mask] - 1 - b
+            bits[pos[mask] + b] = \
+                ((sym_code[mask] >> shift) & 1).astype(np.uint8)
+        payload = np.packbits(bits) if total_bytes \
+            else np.empty(0, np.uint8)
+        sp.set(bytes_out=int(payload.size), n_chunks=int(n_chunks))
     return HuffmanStream(n_symbols=n, alphabet_size=alphabet_size,
                          chunk_size=chunk_size,
                          lengths=lengths.astype(np.uint8),
@@ -138,6 +147,12 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
 
 def huffman_decode(stream: HuffmanStream) -> np.ndarray:
     """Decode a :class:`HuffmanStream` back into its uint32 symbol array."""
+    with telemetry.span("huffman.unpack", n_symbols=stream.n_symbols,
+                        bytes_in=int(stream.payload.size)):
+        return _huffman_decode(stream)
+
+
+def _huffman_decode(stream: HuffmanStream) -> np.ndarray:
     n = stream.n_symbols
     if n == 0:
         return np.empty(0, dtype=np.uint32)

@@ -18,6 +18,7 @@ import struct
 
 import numpy as np
 
+from repro import telemetry
 from repro.common.errors import ConfigError, ContainerError
 from repro.registry import decompress_any, get_compressor
 
@@ -59,7 +60,10 @@ class SlabWriter:
             raise ConfigError(
                 f"slab cross-section {tail} != first slab's "
                 f"{self._shape_tail}")
-        blob = self._make().compress(slab)
+        with telemetry.span("slab.append", index=len(self._blobs),
+                            bytes_in=slab.nbytes) as sp:
+            blob = self._make().compress(slab)
+            sp.set(bytes_out=len(blob))
         self._blobs.append(blob)
         return len(blob)
 
@@ -108,7 +112,11 @@ class SlabReader:
     def read_slab(self, index: int) -> np.ndarray:
         """Decompress a single slab by position."""
         pos, length = self._offsets[index]
-        return decompress_any(self._stream[pos:pos + length])
+        with telemetry.span("slab.read", index=index,
+                            bytes_in=length) as sp:
+            out = decompress_any(self._stream[pos:pos + length])
+            sp.set(bytes_out=out.nbytes)
+        return out
 
     def __iter__(self):
         for i in range(len(self)):

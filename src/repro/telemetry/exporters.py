@@ -1,0 +1,190 @@
+"""Telemetry exporters: JSON-lines, span-tree text, Prometheus text.
+
+Three views of one :class:`~repro.telemetry.Registry`:
+
+* :func:`to_jsonl` / :func:`from_jsonl` — a lossless machine-readable
+  trace dump (one JSON object per line: a ``meta`` line, then ``span`` /
+  ``counter`` / ``histogram`` lines). This is what ``repro compress
+  --trace out.jsonl`` writes and ``repro trace out.jsonl`` reads back.
+* :func:`render_tree` — a human-readable indented span tree with
+  durations and byte attributes, for terminals and logs.
+* :func:`to_prometheus` — Prometheus-style exposition text: counters as
+  ``repro_<name>_total``, histograms with log-spaced ``le`` buckets, and
+  span durations aggregated per span name as ``_sum`` / ``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.telemetry import Registry, Span
+
+__all__ = ["to_jsonl", "from_jsonl", "render_tree", "to_prometheus",
+           "stage_breakdown"]
+
+_SCHEMA_VERSION = 1
+
+
+# -- JSON-lines ------------------------------------------------------------
+
+def to_jsonl(registry: Registry) -> str:
+    """Serialize a registry to a JSON-lines trace dump."""
+    lines = [json.dumps({"type": "meta", "version": _SCHEMA_VERSION,
+                         "n_spans": len(registry.spans)})]
+    for sp in registry.spans:
+        lines.append(json.dumps({
+            "type": "span", "id": sp.span_id, "parent": sp.parent_id,
+            "name": sp.name, "start": sp.start, "dur": sp.duration_s,
+            "status": sp.status, "thread": sp.thread, "attrs": sp.attrs,
+        }, default=str))
+    for name, value in sorted(registry.counters.items()):
+        lines.append(json.dumps({"type": "counter", "name": name,
+                                 "value": value}))
+    for name, values in sorted(registry.histograms.items()):
+        lines.append(json.dumps({"type": "histogram", "name": name,
+                                 "values": values}))
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> Registry:
+    """Rebuild a registry from :func:`to_jsonl` output."""
+    reg = Registry()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"trace line {lineno} is not JSON: {exc}")
+        kind = obj.get("type")
+        if kind == "span":
+            reg.spans.append(Span(
+                name=obj["name"], span_id=int(obj["id"]),
+                parent_id=obj["parent"], start=float(obj["start"]),
+                duration_s=float(obj["dur"]),
+                attrs=dict(obj.get("attrs", {})),
+                status=obj.get("status", "ok"),
+                thread=int(obj.get("thread", 0))))
+        elif kind == "counter":
+            reg.counters[obj["name"]] = float(obj["value"])
+        elif kind == "histogram":
+            reg.histograms[obj["name"]] = [float(v) for v in obj["values"]]
+        elif kind != "meta":
+            raise ValueError(f"trace line {lineno}: unknown type {kind!r}")
+    reg._next_id = max((sp.span_id for sp in reg.spans), default=0) + 1
+    return reg
+
+
+# -- span tree -------------------------------------------------------------
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    parts = []
+    for key in sorted(attrs):
+        val = attrs[key]
+        if isinstance(val, float):
+            val = f"{val:.4g}"
+        parts.append(f"{key}={val}")
+    return " ".join(parts)
+
+
+def render_tree(spans: list[Span], max_depth: int | None = None) -> str:
+    """Render spans as an indented tree ordered by start time."""
+    by_parent: dict[int | None, list[Span]] = {}
+    ids = {sp.span_id for sp in spans}
+    for sp in spans:
+        # orphans (parent not in this trace) render as roots
+        parent = sp.parent_id if sp.parent_id in ids else None
+        by_parent.setdefault(parent, []).append(sp)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s.start, s.span_id))
+
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        if max_depth is not None and depth >= max_depth:
+            return
+        for sp in by_parent.get(parent, []):
+            mark = "" if sp.status == "ok" else " [ERROR]"
+            attrs = _fmt_attrs(sp.attrs)
+            lines.append("  " * depth
+                         + f"{sp.name}  {_fmt_duration(sp.duration_s)}"
+                         + (f"  {attrs}" if attrs else "") + mark)
+            walk(sp.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def stage_breakdown(spans: list[Span]) -> str:
+    """Aggregate spans by name: count, total/mean time, byte volumes."""
+    agg: dict[str, list[float]] = {}
+    for sp in spans:
+        row = agg.setdefault(sp.name, [0, 0.0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += sp.duration_s
+        row[2] += float(sp.attrs.get("bytes_in", 0) or 0)
+        row[3] += float(sp.attrs.get("bytes_out", 0) or 0)
+    header = f"{'span':<24} {'count':>6} {'total':>10} " \
+             f"{'bytes_in':>12} {'bytes_out':>12}"
+    lines = [header, "-" * len(header)]
+    for name, (count, total, b_in, b_out) in \
+            sorted(agg.items(), key=lambda kv: -kv[1][1]):
+        lines.append(f"{name:<24} {count:>6d} {_fmt_duration(total):>10} "
+                     f"{int(b_in):>12d} {int(b_out):>12d}")
+    return "\n".join(lines)
+
+
+# -- Prometheus text -------------------------------------------------------
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _histogram_buckets(values: list[float]) -> list[float]:
+    """Log-spaced bucket upper bounds covering the observed range."""
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return [1.0]
+    lo = math.floor(math.log10(min(positive)))
+    hi = math.ceil(math.log10(max(positive)))
+    return [10.0 ** e for e in range(lo, hi + 1)]
+
+
+def to_prometheus(registry: Registry) -> str:
+    """Prometheus exposition-format snapshot of a registry."""
+    lines: list[str] = []
+    for name, value in sorted(registry.counters.items()):
+        metric = f"repro_{_sanitize(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value:g}")
+    for name, values in sorted(registry.histograms.items()):
+        metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} histogram")
+        for bound in _histogram_buckets(values):
+            count = sum(1 for v in values if v <= bound)
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {count}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {len(values)}')
+        lines.append(f"{metric}_sum {sum(values):g}")
+        lines.append(f"{metric}_count {len(values)}")
+    agg: dict[str, tuple[int, float]] = {}
+    for sp in registry.spans:
+        count, total = agg.get(sp.name, (0, 0.0))
+        agg[sp.name] = (count + 1, total + sp.duration_s)
+    if agg:
+        lines.append("# TYPE repro_span_duration_seconds summary")
+        for name, (count, total) in sorted(agg.items()):
+            lines.append(f'repro_span_duration_seconds_sum'
+                         f'{{span="{name}"}} {total:g}')
+            lines.append(f'repro_span_duration_seconds_count'
+                         f'{{span="{name}"}} {count}')
+    return "\n".join(lines) + "\n"

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.common.errors import ConfigError
 from repro.gpu.device import A100_THETA, DeviceSpec
 from repro.gpu.perfmodel import estimate_throughput
@@ -78,18 +79,36 @@ def pipelined_transfer(codec: str, files: list[FileSpec],
     if not files:
         raise ConfigError("no files to transfer")
     schedule = PipelineSchedule(codec=codec)
-    c_done = w_done = d_done = 0.0
-    for f in files:
-        comp = estimate_throughput(codec, "compress", f.n_elements,
-                                   f.compressed_bytes, src_device,
-                                   lossless).total_seconds
-        wire = link.wire_time(f.compressed_bytes)
-        dec = estimate_throughput(codec, "decompress", f.n_elements,
-                                  f.compressed_bytes, dst_device,
-                                  lossless).total_seconds
-        c_done = c_done + comp
-        w_done = max(c_done, w_done) + wire
-        d_done = max(w_done, d_done) + dec
-        schedule.timeline.append((f.name, c_done, w_done, d_done))
-        schedule.stage_times.append((f.name, comp, wire, dec))
+    with telemetry.span("transfer.pipeline", codec=codec,
+                        n_files=len(files), link=link.name,
+                        src=src_device.name, dst=dst_device.name) as root:
+        c_done = w_done = d_done = 0.0
+        for f in files:
+            comp = estimate_throughput(codec, "compress", f.n_elements,
+                                       f.compressed_bytes, src_device,
+                                       lossless).total_seconds
+            wire = link.wire_time(f.compressed_bytes)
+            dec = estimate_throughput(codec, "decompress", f.n_elements,
+                                      f.compressed_bytes, dst_device,
+                                      lossless).total_seconds
+            c_done = c_done + comp
+            w_done = max(c_done, w_done) + wire
+            d_done = max(w_done, d_done) + dec
+            schedule.timeline.append((f.name, c_done, w_done, d_done))
+            schedule.stage_times.append((f.name, comp, wire, dec))
+            if telemetry.enabled():
+                # modelled (not clocked) durations: record_span, one
+                # parent per file with the three pipeline stages under it
+                fsp = telemetry.record_span(
+                    "transfer.file", comp + wire + dec, file=f.name,
+                    bytes_in=f.n_elements * 4,
+                    bytes_out=f.compressed_bytes, done_at=d_done)
+                for stage, dur in (("transfer.compress", comp),
+                                   ("transfer.wire", wire),
+                                   ("transfer.decompress", dec)):
+                    telemetry.record_span(stage, dur,
+                                          parent_id=fsp.span_id,
+                                          file=f.name)
+        root.set(makespan_s=schedule.makespan,
+                 serial_s=schedule.serial_time)
     return schedule

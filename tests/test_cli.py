@@ -78,3 +78,102 @@ class TestCLI:
             comp = tmp_path / f"f.{codec}"
             assert main(["compress", str(path), str(comp),
                          "--dims", "20,24,16", "--codec", codec]) == 0
+
+
+class TestDecompressDtype:
+    """Regression: decompress must write the container's dtype, not
+    unconditionally float32."""
+
+    def test_float64_archive_written_as_float64(self, tmp_path, capsys):
+        from repro import compress as api_compress
+        data = smooth_field((16, 16, 12), seed=61).astype(np.float64)
+        comp = tmp_path / "f64.rp"
+        comp.write_bytes(api_compress(data, codec="cuszi", eb=1e-3,
+                                      mode="rel"))
+        out = tmp_path / "o.bin"
+        assert main(["decompress", str(comp), str(out)]) == 0
+        assert "float64" in capsys.readouterr().out
+        assert out.stat().st_size == data.size * 8
+        recon = np.fromfile(out, dtype=np.float64).reshape(data.shape)
+        rng = float(data.max() - data.min())
+        assert np.abs(recon - data).max() <= 1e-3 * rng * 1.001
+
+    def test_float32_archive_unchanged(self, tmp_path):
+        from repro import compress as api_compress
+        data = smooth_field((16, 16, 12), seed=62)
+        comp = tmp_path / "f32.rp"
+        comp.write_bytes(api_compress(data, codec="cuszi", eb=1e-3))
+        out = tmp_path / "o.f32"
+        assert main(["decompress", str(comp), str(out)]) == 0
+        assert out.stat().st_size == data.size * 4
+
+
+class TestTraceCLI:
+    def test_compress_trace_and_pretty_print(self, raw_file, tmp_path,
+                                             capsys):
+        path, _ = raw_file
+        comp = tmp_path / "f.rp"
+        trace = tmp_path / "trace.jsonl"
+        assert main(["compress", str(path), str(comp),
+                     "--dims", "20,24,16", "--trace", str(trace)]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for stage in ("compress", "predict", "quantize", "huffman",
+                      "lossless"):
+            assert stage in out
+
+    def test_trace_crosscheck(self, raw_file, tmp_path, capsys):
+        path, _ = raw_file
+        comp = tmp_path / "f.rp"
+        trace = tmp_path / "trace.jsonl"
+        main(["compress", str(path), str(comp), "--dims", "20,24,16",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", str(trace), "--crosscheck"]) == 0
+        out = capsys.readouterr().out
+        assert "modelled A100" in out and "modelled A40" in out
+
+    def test_trace_prom_format(self, raw_file, tmp_path, capsys):
+        path, _ = raw_file
+        comp = tmp_path / "f.rp"
+        trace = tmp_path / "t.jsonl"
+        main(["compress", str(path), str(comp), "--dims", "20,24,16",
+              "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", str(trace), "--format", "prom"]) == 0
+        assert "repro_span_duration_seconds_sum" in \
+            capsys.readouterr().out
+
+    def test_traced_blob_identical_to_untraced(self, raw_file, tmp_path):
+        path, _ = raw_file
+        plain = tmp_path / "plain.rp"
+        traced = tmp_path / "traced.rp"
+        assert main(["compress", str(path), str(plain),
+                     "--dims", "20,24,16"]) == 0
+        assert main(["compress", str(path), str(traced),
+                     "--dims", "20,24,16",
+                     "--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert plain.read_bytes() == traced.read_bytes()
+
+    def test_decompress_trace(self, raw_file, tmp_path):
+        path, _ = raw_file
+        comp = tmp_path / "f.rp"
+        out = tmp_path / "o.f32"
+        trace = tmp_path / "d.jsonl"
+        main(["compress", str(path), str(comp), "--dims", "20,24,16"])
+        assert main(["decompress", str(comp), str(out),
+                     "--trace", str(trace)]) == 0
+        assert trace.exists()
+
+    def test_trace_crosscheck_without_pipeline_root_errors(
+            self, tmp_path, capsys):
+        from repro.telemetry import exporters, recording, span
+        with recording() as reg:
+            with span("unrelated"):
+                pass
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(exporters.to_jsonl(reg))
+        assert main(["trace", str(trace), "--crosscheck"]) == 1
+        assert "cannot cross-check" in capsys.readouterr().err

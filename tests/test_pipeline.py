@@ -126,3 +126,37 @@ class TestPipeline:
         c = CuSZi(eb=1e-3, mode="rel", lossless="none")
         _, stats = c.compress_detailed(data)
         assert stats.segment_nbytes["anchors"] == 5 * 5 * 5 * 4
+
+
+class TestStatsDegenerateInputs:
+    """Regression: ratio/bit_rate must not raise on degenerate sizes."""
+
+    def test_empty_stats_do_not_divide_by_zero(self):
+        from repro.core.pipeline import CompressionStats
+        s = CompressionStats(n_elements=0, original_nbytes=0,
+                             compressed_nbytes=0)
+        assert s.ratio == 1.0
+        assert s.bit_rate == 0.0
+
+    def test_zero_compressed_bytes_gives_inf_ratio(self):
+        from repro.core.pipeline import CompressionStats
+        s = CompressionStats(n_elements=10, original_nbytes=40,
+                             compressed_nbytes=0)
+        assert s.ratio == float("inf")
+
+    def test_one_element_field_roundtrip(self):
+        c = CuSZi(eb=1e-3, mode="abs")
+        data = np.array([3.25], dtype=np.float32)
+        blob, stats = c.compress_detailed(data)
+        assert np.isfinite(stats.ratio) and np.isfinite(stats.bit_rate)
+        assert stats.nonzero_code_fraction == 0.0
+        recon = c.decompress(blob)
+        assert recon.shape == (1,)
+        assert abs(float(recon[0]) - 3.25) <= 1e-3
+
+    def test_one_element_2d_field_roundtrip(self):
+        c = CuSZi(eb=1e-3, mode="abs", lossless="none")
+        data = np.array([[7.5]], dtype=np.float32)
+        recon = c.decompress(c.compress(data))
+        assert recon.shape == (1, 1)
+        assert abs(float(recon[0, 0]) - 7.5) <= 1e-3
