@@ -5,6 +5,11 @@ to time compress/decompress on one fixed seeded Nyx field per codec and
 write the results as JSON. The file is a stable, diffable record —
 future PRs rerun this and compare against the committed/archived numbers
 to catch wall-time or ratio regressions without parsing pytest logs.
+
+Beyond the per-codec serial times, a ``runtime`` section times the same
+field through the slab runtime serially and with a ``workers >= 2``
+process pool (:mod:`repro.runtime`), recording the parallel speedup the
+trajectory should preserve. See ``docs/PERFORMANCE.md``.
 """
 
 import json
@@ -20,6 +25,8 @@ EMIT = os.environ.get("REPRO_BENCH_EMIT", "")
 CODECS = ("cuszi", "cusz", "cuszp", "fzgpu")
 FIELD = ("nyx", "baryon_density", (64, 64, 64))
 EB = 1e-3
+#: planes per slab for the runtime section: 64 planes -> 8 slabs
+SLAB_PLANES = 8
 
 
 @pytest.mark.skipif(not EMIT, reason="set REPRO_BENCH_EMIT=1 (or a path) "
@@ -45,13 +52,48 @@ def test_emit_pipeline_trajectory():
             "ratio": round(data.nbytes / len(blob), 4),
             "compressed_bytes": len(blob),
         }
+    # serial vs parallel slab runtime on the same field (>= 8 slabs);
+    # the archives must be byte-identical, only the wall time may differ
+    from repro.runtime import (parallel_compress_slabs,
+                               parallel_decompress_slabs, resolve_workers)
+    from repro.streaming import compress_slabs
+    slab_kwargs = dict(codec="cuszi", eb=EB, mode="rel", lossless="none")
+    workers = min(4, max(2, resolve_workers("auto")))
+    # warm the pool so fork/startup cost is not billed to the timed run
+    parallel_compress_slabs(data[:2 * SLAB_PLANES], SLAB_PLANES,
+                            workers=workers, **slab_kwargs)
+    t0 = time.perf_counter()
+    serial_stream = compress_slabs(data, SLAB_PLANES, **slab_kwargs)
+    t1 = time.perf_counter()
+    parallel_stream = parallel_compress_slabs(data, SLAB_PLANES,
+                                              workers=workers,
+                                              **slab_kwargs)
+    t2 = time.perf_counter()
+    assert parallel_stream == serial_stream, \
+        "parallel slab runtime must be byte-identical to serial"
+    recon = parallel_decompress_slabs(parallel_stream, workers=workers)
+    t3 = time.perf_counter()
+    assert recon.shape == data.shape
+    serial_s = t1 - t0
+    parallel_s = t2 - t1
+    runtime = {
+        "n_slabs": -(-shape[0] // SLAB_PLANES),
+        "workers": workers,
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "parallel_decompress_s": round(t3 - t2, 6),
+        "speedup": round(serial_s / parallel_s, 4) if parallel_s else 0.0,
+        "cpu_count": os.cpu_count(),
+    }
+
     doc = {
-        "schema": 1,
+        "schema": 2,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
         "mode": "rel",
         "results": results,
+        "runtime": runtime,
     }
     path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"
     with open(path, "w") as f:

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.common.container import build_container, parse_container
 from repro.common.errors import ConfigError, ContainerError
-from repro.registry import decompress_any, get_compressor
+from repro.registry import decompress_any  # noqa: F401  (re-export compat)
 
 __all__ = ["save_archive", "load_archive", "archive_info",
            "write_archive", "read_archive"]
@@ -22,24 +22,32 @@ _ARCHIVE_CODEC = "field-archive"
 
 def save_archive(fields: dict[str, np.ndarray], codec: str = "cuszi",
                  per_field: dict[str, dict] | None = None,
+                 workers: int | str | None = None,
                  **kwargs) -> bytes:
     """Compress a named set of fields into one archive blob.
 
     ``kwargs`` configure the codec for every field; ``per_field`` maps a
     field name to overrides (including ``"codec"``), e.g. compress a
-    rough field with a different bound than the rest.
+    rough field with a different bound than the rest. Fields are
+    independent archives, so ``workers`` fans them out across processes
+    (:mod:`repro.runtime`) with byte-identical output.
     """
     if not fields:
         raise ConfigError("archive needs at least one field")
+    from repro.runtime import map_compress
     per_field = per_field or {}
-    segments: dict[str, bytes] = {}
+    names = list(fields)
+    overrides = [dict(per_field.get(name, {})) for name in names]
+    codecs = [ov.pop("codec", codec) for name, ov in zip(names, overrides)]
+    blobs = map_compress([fields[name] for name in names], codec,
+                         workers=workers,
+                         per_item=[{"codec": c, **ov}
+                                   for c, ov in zip(codecs, overrides)],
+                         **kwargs)
+    segments = dict(zip(names, blobs))
     meta_fields = {}
-    for name, data in fields.items():
-        overrides = dict(per_field.get(name, {}))
-        field_codec = overrides.pop("codec", codec)
-        comp = get_compressor(field_codec, **{**kwargs, **overrides})
-        blob = comp.compress(data)
-        segments[name] = blob
+    for name, field_codec, blob in zip(names, codecs, blobs):
+        data = fields[name]
         meta_fields[name] = {
             "codec": field_codec,
             "shape": list(data.shape),
@@ -52,19 +60,21 @@ def save_archive(fields: dict[str, np.ndarray], codec: str = "cuszi",
 
 
 def load_archive(blob: bytes,
-                 fields: list[str] | None = None) -> dict[str, np.ndarray]:
+                 fields: list[str] | None = None,
+                 workers: int | str | None = None) -> dict[str, np.ndarray]:
     """Decompress (a subset of) an archive back into named arrays."""
+    from repro.runtime import map_decompress
     codec, meta, segments = parse_container(blob)
     if codec != _ARCHIVE_CODEC:
         raise ContainerError(f"not a field archive (codec {codec!r})")
     wanted = fields if fields is not None else list(segments)
-    out = {}
     for name in wanted:
         if name not in segments:
             raise ConfigError(f"archive has no field {name!r}; "
                               f"contains {sorted(segments)}")
-        out[name] = decompress_any(segments[name])
-    return out
+    arrays = map_decompress([segments[name] for name in wanted],
+                            workers=workers)
+    return dict(zip(wanted, arrays))
 
 
 def archive_info(blob: bytes) -> dict:
@@ -88,7 +98,8 @@ def write_archive(path: str, fields: dict[str, np.ndarray],
 
 
 def read_archive(path: str,
-                 fields: list[str] | None = None) -> dict[str, np.ndarray]:
+                 fields: list[str] | None = None,
+                 workers: int | str | None = None) -> dict[str, np.ndarray]:
     """Load (a subset of) an archive from disk."""
     with open(path, "rb") as f:
-        return load_archive(f.read(), fields)
+        return load_archive(f.read(), fields, workers=workers)

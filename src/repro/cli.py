@@ -33,6 +33,16 @@ def _parse_dims(text: str) -> tuple[int, ...]:
     return dims
 
 
+def _parse_workers(text: str):
+    if text == "auto":
+        return "auto"
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be an int or 'auto', got {text!r}")
+
+
 def _write_trace(registry, path: str) -> None:
     with open(path, "w") as f:
         f.write(exporters.to_jsonl(registry))
@@ -140,7 +150,8 @@ def _cmd_pack(args) -> int:
     fields = {fld: info.load(fld) for fld in info.fields}
     from repro.archive import write_archive
     write_archive(args.output, fields, codec=args.codec, eb=args.eb,
-                  mode=args.mode, lossless=args.lossless)
+                  mode=args.mode, lossless=args.lossless,
+                  workers=args.workers)
     from repro.archive import read_archive  # noqa: F401  (symmetry)
     import os
     raw = sum(d.nbytes for d in fields.values())
@@ -155,7 +166,7 @@ def _cmd_unpack(args) -> int:
     from repro.archive import read_archive
     fields = read_archive(args.input,
                           fields=args.fields.split(",") if args.fields
-                          else None)
+                          else None, workers=args.workers)
     for name, data in fields.items():
         path = f"{args.prefix}{name}.f32"
         data.astype(np.float32).tofile(path)
@@ -235,6 +246,10 @@ def main(argv=None) -> int:
     p.add_argument("--mode", choices=("rel", "abs"), default="rel")
     p.add_argument("--lossless", default="gle",
                    choices=("none", "gle", "zlib"))
+    p.add_argument("--workers", type=_parse_workers, default=None,
+                   metavar="N",
+                   help="compress fields across N worker processes "
+                        "('auto' = all cores; default serial)")
     p.set_defaults(func=_cmd_pack)
 
     p = sub.add_parser("unpack", help="extract fields from an archive")
@@ -243,6 +258,10 @@ def main(argv=None) -> int:
                    help="output filename prefix")
     p.add_argument("--fields", default="",
                    help="comma-separated subset (default: all)")
+    p.add_argument("--workers", type=_parse_workers, default=None,
+                   metavar="N",
+                   help="decompress fields across N worker processes "
+                        "('auto' = all cores; default serial)")
     p.set_defaults(func=_cmd_unpack)
 
     p = sub.add_parser("list", help="list codecs and datasets")

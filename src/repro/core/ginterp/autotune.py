@@ -16,18 +16,58 @@ replay the same traversal without access to the original data.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.ginterp.splines import (CUBIC_NAK, CUBIC_NAT,
                                         SPLINE_WEIGHTS)
 
 __all__ = ["alpha_from_eb", "profile_cubic_errors", "autotune",
-           "TuneReport"]
+           "TuneReport", "clear_autotune_cache", "autotune_cache_stats"]
 
 #: sampled sub-grid extent per axis (paper: "e.g. a 4^3 sub-grid")
 PROFILE_SAMPLES = 4
+
+#: fields whose profiling outcome is remembered; keys are content digests,
+#: so recompressing the same field at a new error bound skips the pass
+_CACHE_SIZE = 32
+
+_cache_lock = threading.Lock()
+#: digest -> (value_range, profiled (ndim, 2) error matrix)
+_profile_cache: OrderedDict[bytes, tuple[float, np.ndarray]] = OrderedDict()
+_cache_stats = {"hits": 0, "misses": 0}
+
+
+def clear_autotune_cache() -> None:
+    """Drop the content-keyed profiling cache (mainly for tests)."""
+    with _cache_lock:
+        _profile_cache.clear()
+        _cache_stats["hits"] = 0
+        _cache_stats["misses"] = 0
+
+
+def autotune_cache_stats() -> dict[str, int]:
+    """Snapshot of the profiling cache hit/miss counters."""
+    with _cache_lock:
+        return dict(_cache_stats)
+
+
+def _content_key(data: np.ndarray, samples: int) -> bytes:
+    """Digest of the field's bytes, shape, dtype, and sample count.
+
+    The full buffer is hashed: a collision would silently mistune a
+    different field, and hashing runs at memory bandwidth — far cheaper
+    than the range scan + sampled spline evaluation it saves.
+    """
+    h = hashlib.sha1()
+    h.update(str((data.shape, data.dtype.str, samples)).encode())
+    h.update(np.ascontiguousarray(data).tobytes())
+    return h.digest()
 
 
 def alpha_from_eb(rel_eb: float) -> float:
@@ -105,12 +145,34 @@ def profile_cubic_errors(data: np.ndarray,
 
 def autotune(data: np.ndarray, abs_eb: float,
              samples: int = PROFILE_SAMPLES) -> TuneReport:
-    """Run the full §V-C profiling-and-auto-tuning kernel."""
-    rng = float(data.max() - data.min())
+    """Run the full §V-C profiling-and-auto-tuning kernel.
+
+    The data-dependent parts (value range, sampled cubic errors) are
+    memoized per field content; only the cheap ``abs_eb``-dependent alpha
+    map reruns when the same field is compressed at a new error bound.
+    """
+    key = _content_key(data, samples)
+    with _cache_lock:
+        cached = _profile_cache.get(key)
+        if cached is not None:
+            _profile_cache.move_to_end(key)
+            _cache_stats["hits"] += 1
+    if cached is not None:
+        telemetry.incr("autotune.cache.hit")
+        rng, errors = cached
+    else:
+        telemetry.incr("autotune.cache.miss")
+        rng = float(data.max() - data.min())
+        errors = profile_cubic_errors(data, samples)
+        errors.setflags(write=False)
+        with _cache_lock:
+            _cache_stats["misses"] += 1
+            _profile_cache[key] = (rng, errors)
+            _profile_cache.move_to_end(key)
+            while len(_profile_cache) > _CACHE_SIZE:
+                _profile_cache.popitem(last=False)
     rel_eb = abs_eb / rng if rng > 0 else 1.0
     alpha = alpha_from_eb(rel_eb)
-
-    errors = profile_cubic_errors(data, samples)
     variants = tuple(CUBIC_NAK if errors[ax, 0] <= errors[ax, 1]
                      else CUBIC_NAT for ax in range(data.ndim))
     best = errors.min(axis=1)

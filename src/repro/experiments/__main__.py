@@ -52,7 +52,14 @@ def main(argv=None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="DIR",
                         help="with --trace: also dump one "
                              "<name>.trace.jsonl per experiment")
+    parser.add_argument("--workers", default=None, metavar="N",
+                        help="process-pool size for experiments that "
+                             "support batch fan-out ('auto' = all cores; "
+                             "default serial)")
     args = parser.parse_args(argv)
+    workers = args.workers
+    if workers is not None and workers != "auto":
+        workers = int(workers)
     names = sorted(MODULES) if args.name == "all" else [args.name]
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -64,11 +71,14 @@ def main(argv=None) -> int:
         if args.trace:
             telemetry.enable(reg)
         try:
+            import inspect
+            kwargs = {"scale": args.scale}
             if name == "fig8" and args.out:
-                result = MODULES[name].run(scale=args.scale,
-                                           save_slices=True)
-            else:
-                result = MODULES[name].run(scale=args.scale)
+                kwargs["save_slices"] = True
+            if workers is not None and "workers" in \
+                    inspect.signature(MODULES[name].run).parameters:
+                kwargs["workers"] = workers
+            result = MODULES[name].run(**kwargs)
         finally:
             if args.trace:
                 telemetry.disable()

@@ -12,8 +12,8 @@ from repro.common.metrics import bit_rate, max_abs_error, psnr
 from repro.datasets import get_dataset, dataset_names
 from repro.registry import get_compressor
 
-__all__ = ["CompressionRun", "run_codec", "scale_fields", "EB_GRID",
-           "format_table"]
+__all__ = ["CompressionRun", "run_codec", "run_codec_batch",
+           "scale_fields", "EB_GRID", "format_table"]
 
 #: the paper's Table III error bounds (value-range relative)
 EB_GRID = (1e-2, 1e-3, 1e-4)
@@ -78,6 +78,48 @@ def run_codec(codec: str, data: np.ndarray, *, dataset: str = "",
                           n_elements=data.size,
                           original_bytes=data.nbytes,
                           psnr=quality, max_err=err)
+
+
+def run_codec_batch(codec: str, fields: list[tuple[str, str, np.ndarray]],
+                    *, eb: float | None = None, lossless: str = "none",
+                    mode: str = "rel", verify: bool = True,
+                    workers: int | str | None = None,
+                    **kwargs) -> list[CompressionRun]:
+    """Batch form of :func:`run_codec` over many ``(dataset, field,
+    data)`` triples, fanned out via :mod:`repro.runtime`.
+
+    Results are identical to calling :func:`run_codec` per field (same
+    blobs, same metrics) — ``workers`` only changes where the codec work
+    runs. The default stays serial.
+    """
+    from repro.runtime import map_compress, map_decompress
+    fields = list(fields)
+    codec_kwargs = dict(kwargs, lossless=lossless)
+    if eb is not None:
+        codec_kwargs.update(eb=eb, mode=mode)
+    with telemetry.span("experiment.batch", codec=codec,
+                        n_fields=len(fields)):
+        blobs = map_compress([data for _, _, data in fields], codec,
+                             workers=workers, **codec_kwargs)
+        telemetry.incr("experiment.runs", len(fields))
+        if verify:
+            recons = map_decompress(blobs, workers=workers)
+        else:
+            recons = [None] * len(fields)
+    runs = []
+    for (dataset, field, data), blob, recon in zip(fields, blobs, recons):
+        if recon is not None:
+            quality = psnr(data, recon)
+            err = max_abs_error(data, recon)
+        else:
+            quality = float("nan")
+            err = float("nan")
+        runs.append(CompressionRun(
+            codec=codec, dataset=dataset, field=field, eb=eb,
+            lossless=lossless, compressed_bytes=len(blob),
+            n_elements=data.size, original_bytes=data.nbytes,
+            psnr=quality, max_err=err))
+    return runs
 
 
 def scale_fields(scale: str) -> list[tuple[str, str]]:

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.datasets import load_field
-from repro.experiments.harness import (EB_GRID, format_table, run_codec,
-                                       scale_fields)
+from repro.experiments.harness import (EB_GRID, format_table,
+                                       run_codec_batch, scale_fields)
 
 __all__ = ["run", "Table3Result", "CODECS"]
 
@@ -59,26 +59,28 @@ class Table3Result:
         return "\n\n".join(parts)
 
 
-def run(scale: str = "small", ebs=EB_GRID) -> Table3Result:
-    """Regenerate Table III."""
+def run(scale: str = "small", ebs=EB_GRID,
+        workers: int | str | None = None) -> Table3Result:
+    """Regenerate Table III.
+
+    ``workers`` fans each dataset's fields out across processes
+    (:mod:`repro.runtime`); the cells are identical for any value.
+    """
     result = Table3Result(scale=scale)
     pairs = scale_fields(scale)
     by_dataset: dict[str, list[str]] = {}
     for ds, fld in pairs:
         by_dataset.setdefault(ds, []).append(fld)
     for ds, flds in by_dataset.items():
-        fields_data = [(fld, load_field(ds, fld)) for fld in flds]
+        fields_data = [(ds, fld, load_field(ds, fld)) for fld in flds]
         for eb in ebs:
             for lossless in ("none", "gle"):
                 for codec in CODECS:
-                    orig = 0
-                    comp = 0
-                    for fld, data in fields_data:
-                        r = run_codec(codec, data, dataset=ds, field=fld,
-                                      eb=eb, lossless=lossless,
-                                      verify=False)
-                        orig += r.original_bytes
-                        comp += r.compressed_bytes
+                    runs = run_codec_batch(codec, fields_data, eb=eb,
+                                           lossless=lossless, verify=False,
+                                           workers=workers)
+                    orig = sum(r.original_bytes for r in runs)
+                    comp = sum(r.compressed_bytes for r in runs)
                     result.cells[(ds, eb, lossless, codec)] = orig / comp
     return result
 

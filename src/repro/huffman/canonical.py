@@ -6,32 +6,108 @@ decoder expands it into a ``2**MAX_CODE_LEN``-entry lookup table mapping any
 window of ``MAX_CODE_LEN`` bits to ``(symbol, code length)`` — one gather
 per decoded symbol, which is what makes the all-chunks-at-once decode loop
 in :mod:`repro.huffman.codec` fast.
+
+Both the codebook and the decode table are pure functions of the length
+array, and static codebooks (:mod:`repro.huffman.static`) reuse the same
+handful of length vectors across every chunk-stream of a run, so both are
+memoized in small LRU caches keyed on the length bytes. Cached arrays are
+returned read-only so one caller cannot corrupt another's view.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 import numpy as np
 
+from repro import telemetry
 from repro.common.errors import CodecError
 from repro.common.scan import concat_ranges
 
-__all__ = ["canonical_codebook", "build_decode_table", "MAX_CODE_LEN"]
+__all__ = ["canonical_codebook", "build_decode_table", "MAX_CODE_LEN",
+           "clear_codebook_caches", "codebook_cache_stats"]
 
 #: Single flat-table decode requires bounded code lengths; 16 bits keeps the
 #: table at 64 Ki entries while supporting the 1024-symbol quant alphabet.
 MAX_CODE_LEN = 16
 
+#: distinct length vectors kept per cache; static families have < 10 members
+#: and dynamic codebooks are per-field, so a few dozen covers real runs
+_CACHE_SIZE = 64
+
+_cache_lock = threading.Lock()
+_codebook_cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+_table_cache: OrderedDict[bytes, tuple[np.ndarray, np.ndarray]] = \
+    OrderedDict()
+_cache_stats = {"codebook_hits": 0, "codebook_misses": 0,
+                "table_hits": 0, "table_misses": 0}
+
+
+def clear_codebook_caches() -> None:
+    """Drop both LRU caches (tests; long-lived processes never need to)."""
+    with _cache_lock:
+        _codebook_cache.clear()
+        _table_cache.clear()
+        for k in _cache_stats:
+            _cache_stats[k] = 0
+
+
+def codebook_cache_stats() -> dict[str, int]:
+    """Snapshot of hit/miss counters for both caches."""
+    with _cache_lock:
+        return dict(_cache_stats)
+
+
+def _cache_get(cache: OrderedDict, key: bytes, kind: str):
+    with _cache_lock:
+        hit = cache.get(key)
+        if hit is not None:
+            cache.move_to_end(key)
+            _cache_stats[f"{kind}_hits"] += 1
+            telemetry.incr(f"huffman.{kind}_cache.hit")
+            return hit
+        _cache_stats[f"{kind}_misses"] += 1
+        telemetry.incr(f"huffman.{kind}_cache.miss")
+        return None
+
+
+def _cache_put(cache: OrderedDict, key: bytes, value) -> None:
+    with _cache_lock:
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > _CACHE_SIZE:
+            cache.popitem(last=False)
+
+
+def _length_key(lengths: np.ndarray) -> bytes:
+    """Cache key: the raw length bytes (validated to fit uint8 first)."""
+    if lengths.size and (int(lengths.max()) > MAX_CODE_LEN
+                         or int(lengths.min()) < 0):
+        raise CodecError(f"code length outside [0, {MAX_CODE_LEN}]")
+    return lengths.astype(np.uint8).tobytes()
+
 
 def canonical_codebook(lengths: np.ndarray) -> np.ndarray:
     """Assign canonical codewords given per-symbol lengths.
 
-    Returns a uint32 array of codewords (valid only where ``lengths > 0``).
-    Codes are assigned shortest-first, ties broken by symbol index — the
-    canonical convention, reproducible on both sides from lengths alone.
+    Returns a read-only uint32 array of codewords (valid only where
+    ``lengths > 0``). Codes are assigned shortest-first, ties broken by
+    symbol index — the canonical convention, reproducible on both sides
+    from lengths alone. Results are memoized per length vector.
     """
     lengths = np.asarray(lengths, dtype=np.int64).ravel()
-    if lengths.size and int(lengths.max()) > MAX_CODE_LEN:
-        raise CodecError(f"code length exceeds {MAX_CODE_LEN}")
+    key = _length_key(lengths)
+    cached = _cache_get(_codebook_cache, key, "codebook")
+    if cached is not None:
+        return cached
+    codes = _canonical_codebook_uncached(lengths)
+    codes.setflags(write=False)
+    _cache_put(_codebook_cache, key, codes)
+    return codes
+
+
+def _canonical_codebook_uncached(lengths: np.ndarray) -> np.ndarray:
     codes = np.zeros(lengths.size, dtype=np.uint32)
     used = np.flatnonzero(lengths)
     if used.size == 0:
@@ -53,26 +129,34 @@ def canonical_codebook(lengths: np.ndarray) -> np.ndarray:
 def build_decode_table(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Expand code lengths into the flat decode table.
 
-    Returns ``(symbols, lens)``: two ``2**MAX_CODE_LEN`` arrays such that
-    for any bit window ``w`` starting at a codeword boundary,
+    Returns ``(symbols, lens)``: two read-only ``2**MAX_CODE_LEN`` arrays
+    such that for any bit window ``w`` starting at a codeword boundary,
     ``symbols[w]`` is the decoded symbol and ``lens[w]`` how many bits to
     consume. Table slots not reachable from any codeword keep length 0 so a
-    corrupted stream is detected instead of looping forever.
+    corrupted stream is detected instead of looping forever. The 64 Ki
+    tables are memoized per length vector — static codebooks decode every
+    chunk-stream of a run through the same cached pair.
     """
     lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    key = _length_key(lengths)
+    cached = _cache_get(_table_cache, key, "table")
+    if cached is not None:
+        return cached
     codes = canonical_codebook(lengths)
     size = 1 << MAX_CODE_LEN
     symbols = np.zeros(size, dtype=np.uint32)
     lens = np.zeros(size, dtype=np.uint8)
     used = np.flatnonzero(lengths)
-    if used.size == 0:
-        return symbols, lens
-    shifts = MAX_CODE_LEN - lengths[used]
-    starts = (codes[used].astype(np.int64) << shifts)
-    counts = (np.int64(1) << shifts)
-    # scatter each codeword across its table span
-    idx = np.repeat(starts, counts) + concat_ranges(counts)
-    symbols[idx] = np.repeat(used.astype(np.uint32), counts)
-    lens[idx] = np.repeat(lengths[used].astype(np.uint8), counts)
+    if used.size:
+        shifts = MAX_CODE_LEN - lengths[used]
+        starts = (codes[used].astype(np.int64) << shifts)
+        counts = (np.int64(1) << shifts)
+        # scatter each codeword across its table span
+        idx = np.repeat(starts, counts) + concat_ranges(counts)
+        symbols[idx] = np.repeat(used.astype(np.uint32), counts)
+        lens[idx] = np.repeat(lengths[used].astype(np.uint8), counts)
+    symbols.setflags(write=False)
+    lens.setflags(write=False)
+    _cache_put(_table_cache, key, (symbols, lens))
     return symbols, lens
 

@@ -8,9 +8,9 @@ are independently decodable.
 * **Encode** is a single vectorized bit scatter: per-symbol bit positions
   come from a prefix sum of code lengths, then one pass per bit index of the
   longest codeword writes all symbols' bits at once.
-* **Decode** steps all chunks simultaneously — per step, one table lookup
-  and one advance per chunk — the direct NumPy analogue of the
-  one-thread-block-per-chunk GPU decoder.
+* **Decode** steps all chunks simultaneously — per step, one 64-bit window
+  gather per chunk decodes up to three codewords via the flat table — the
+  NumPy analogue of the one-thread-block-per-chunk GPU decoder.
 """
 
 from __future__ import annotations
@@ -124,8 +124,14 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
         chunk_bytes = -(-chunk_bits.astype(np.int64) // 8)
         chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
 
-        within = start_global - np.repeat(chunk_first, ends - bounds)
-        pos = within + np.repeat(chunk_byte_off[:-1] * 8, ends - bounds)
+        # rebase global bit offsets to chunk-local byte-aligned positions
+        # without materializing per-symbol chunk ids: the adjustment
+        # (chunk_byte_off*8 - chunk_first) is constant within a chunk, so
+        # scatter each chunk's delta at its first symbol and prefix-sum
+        adj = chunk_byte_off[:-1] * 8 - chunk_first
+        delta = np.zeros(n, dtype=np.int64)
+        delta[bounds] = np.diff(adj, prepend=0)
+        pos = start_global + np.cumsum(delta)
 
         total_bytes = int(chunk_byte_off[-1])
         bits = np.zeros(total_bytes * 8, dtype=np.uint8)
@@ -169,37 +175,50 @@ def _huffman_decode(stream: HuffmanStream) -> np.ndarray:
     chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
     if int(chunk_byte_off[-1]) != stream.payload.size:
         raise CodecError("payload size mismatch")
-    # pad so 4-byte windows never read past the end
-    pay = np.concatenate(
-        [stream.payload, np.zeros(4, np.uint8)]).astype(np.uint32)
+    # pad so 8-byte windows never read past the end
+    pay = np.concatenate([stream.payload, np.zeros(8, np.uint8)])
+    windows8 = np.lib.stride_tricks.sliding_window_view(pay, 8)
 
     counts = np.full(n_chunks, chunk_size, dtype=np.int64)
     counts[-1] = n - chunk_size * (n_chunks - 1)
     bitpos = chunk_byte_off[:-1] * 8
     bit_end = bitpos + stream.chunk_bits.astype(np.int64)
 
-    out = np.zeros((n_chunks, chunk_size), dtype=np.uint32)
-    full = int(counts.min())
-    shift_base = 32 - MAX_CODE_LEN
-    mask = (1 << MAX_CODE_LEN) - 1
+    # flat output sized to n (not a padded (n_chunks, chunk_size) matrix):
+    # chunk c's symbols land at c*chunk_size + step, and only the final
+    # chunk is short, so every index stays < n
+    out = np.empty(n, dtype=np.uint32)
+    base = np.arange(n_chunks, dtype=np.int64) * chunk_size
+    decoded = np.zeros(n_chunks, dtype=np.int64)
+    mask = np.uint64((1 << MAX_CODE_LEN) - 1)
+    # one 64-bit gather decodes up to K symbols per chunk per step: after
+    # the <= 7 alignment bits, 57 bits remain — three <=16-bit codewords
+    k_per_step = (64 - 7) // MAX_CODE_LEN
     active = np.arange(n_chunks)
-    for step in range(chunk_size):
-        if step == full:
-            active = np.flatnonzero(counts > step)
-        elif step > full:
-            active = active[counts[active] > step]
-        if active.size == 0:
-            break
+    while active.size:
         bp = bitpos[active]
-        byte = np.minimum(bp >> 3, pay.size - 4)  # drift-safe gather
-        word = ((pay[byte] << 24) | (pay[byte + 1] << 16)
-                | (pay[byte + 2] << 8) | pay[byte + 3])
-        window = (word >> (shift_base - (bp & 7)).astype(np.uint32)) & mask
-        ln = table_len[window]
-        if np.any(ln == 0):
-            raise CodecError("corrupt Huffman payload (invalid codeword)")
-        out[active, step] = table_sym[window]
-        bitpos[active] = bp + ln
+        byte = np.minimum(bp >> 3, pay.size - 8)  # drift-safe gather
+        word = windows8[byte].view(">u8").ravel().astype(np.uint64)
+        bitoff = bp & 7
+        consumed = np.zeros(active.size, dtype=np.int64)
+        live = np.arange(active.size)  # positions into `active`
+        for _ in range(k_per_step):
+            sh = (64 - MAX_CODE_LEN
+                  - bitoff[live] - consumed[live]).astype(np.uint64)
+            window = (word[live] >> sh) & mask
+            ln = table_len[window].astype(np.int64)
+            if np.any(ln == 0):
+                raise CodecError(
+                    "corrupt Huffman payload (invalid codeword)")
+            chunks = active[live]
+            out[base[chunks] + decoded[chunks]] = table_sym[window]
+            consumed[live] += ln
+            decoded[chunks] += 1
+            live = live[decoded[active[live]] < counts[active[live]]]
+            if live.size == 0:
+                break
+        bitpos[active] += consumed
+        active = active[decoded[active] < counts[active]]
     if np.any(bitpos != bit_end):
         raise CodecError("chunk bit counts do not match decoded stream")
-    return out.ravel()[:n]
+    return out

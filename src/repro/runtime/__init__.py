@@ -1,0 +1,21 @@
+"""repro.runtime — process-pool batch engine for slab and field batches.
+
+See :mod:`repro.runtime.pool` for the engine. Public surface:
+
+* :func:`parallel_compress_slabs` / :func:`parallel_decompress_slabs` —
+  shard one field into independent slabs and run them across workers,
+  byte-identical to the serial :mod:`repro.streaming` path;
+* :func:`map_compress` / :func:`map_decompress` — many-field batches;
+* :func:`resolve_workers` — the shared ``workers=`` knob
+  (``None`` = serial, ``"auto"`` = one worker per core);
+* :func:`shutdown_pools` — tear down the cached worker pools.
+"""
+
+from repro.runtime.pool import (map_compress, map_decompress,
+                                parallel_compress_slabs,
+                                parallel_decompress_slabs,
+                                resolve_workers, shutdown_pools)
+
+__all__ = ["parallel_compress_slabs", "parallel_decompress_slabs",
+           "map_compress", "map_decompress", "resolve_workers",
+           "shutdown_pools"]

@@ -1,0 +1,327 @@
+"""Process-pool batch engine: parallel slabs, field maps, worker traces.
+
+The GPU design this repo reproduces gets its speed from coarse-grained
+independence — one thread block per Huffman chunk, one stream per field —
+and the CPU substrate has the same independence sitting idle: every slab
+of a :class:`~repro.streaming.SlabWriter` stream and every field of a
+batch is a self-contained archive. This module exploits that with a
+process pool:
+
+* :func:`parallel_compress_slabs` / :func:`parallel_decompress_slabs`
+  shard a field along axis 0 (the ``SlabWriter`` framing, bit for bit)
+  and run the per-slab codec work across workers, reassembling **in
+  order** so the output is byte-identical to the serial path;
+* :func:`map_compress` / :func:`map_decompress` run many-field batches
+  (the experiments harness, the field archive, the transfer pipeline);
+* worker processes record their own telemetry spans and ship them back,
+  where they are grafted into the parent trace
+  (:func:`repro.telemetry.merge_spans`) — ``repro trace`` then shows the
+  per-slab concurrency lanes by worker pid.
+
+Everything is gated behind a ``workers=`` knob: the default (``None``)
+stays serial, ``workers="auto"`` uses every core, and any explicit
+integer pins the pool size. Serial requests never touch
+``multiprocessing`` at all, so the default path is exactly the code that
+existed before this module.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro import telemetry
+from repro.common.errors import ConfigError
+from repro.registry import decompress_any, get_compressor
+from repro.streaming import SlabWriter, SlabReader, compress_slabs, \
+    decompress_slabs, frame_slabs
+
+__all__ = ["resolve_workers", "parallel_compress_slabs",
+           "parallel_decompress_slabs", "map_compress", "map_decompress",
+           "shutdown_pools"]
+
+
+# -- worker-count knob ------------------------------------------------------
+
+def resolve_workers(workers: int | str | None) -> int:
+    """Normalize the ``workers=`` knob to a concrete pool size.
+
+    ``None``/``0``/``1`` mean serial, ``"auto"`` means one worker per
+    core, and a positive integer pins the size. Anything else is a
+    configuration error.
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigError(f"workers must be None, 'auto', or an int, "
+                          f"got {workers!r}")
+    if workers < 0:
+        raise ConfigError(f"workers must be >= 0, got {workers}")
+    return max(1, workers)
+
+
+# -- pool lifecycle ---------------------------------------------------------
+
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_pool_lock = threading.Lock()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    with _pool_lock:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=workers)
+            _POOLS[workers] = pool
+        return pool
+
+
+def _evict_pool(workers: int) -> None:
+    with _pool_lock:
+        pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached worker pool (atexit-registered)."""
+    with _pool_lock:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)
+
+
+def _run_batch(task, payloads: list, workers: int) -> list:
+    """Run ``task`` over ``payloads`` on the pool, results in order.
+
+    A pool broken by a dead worker (e.g. an OOM-killed child) is evicted
+    and rebuilt once before the error propagates.
+    """
+    for attempt in (0, 1):
+        pool = _get_pool(workers)
+        try:
+            return list(pool.map(task, payloads))
+        except BrokenProcessPool:
+            _evict_pool(workers)
+            if attempt:
+                raise
+    raise AssertionError("unreachable")
+
+
+def _merge_worker_trace(results: list, offset_s: float) -> None:
+    """Graft per-item worker spans back into the parent trace."""
+    if not telemetry.enabled():
+        return
+    for _, spans, pid in results:
+        if spans:
+            telemetry.merge_spans(spans, offset_s=offset_s, worker_pid=pid)
+
+
+def _trace_offset() -> float:
+    """Parent-clock offset applied to worker spans (their epoch is 0)."""
+    if not telemetry.enabled():
+        return 0.0
+    return time.perf_counter() - telemetry.get_registry().epoch
+
+
+# -- worker entry points (module-level: payloads must survive pickle) -------
+
+def _compress_slab_task(payload):
+    index, slab, codec, eb, kwargs, trace = payload
+    if trace:
+        with telemetry.recording() as reg:
+            with telemetry.span("slab.append", index=index,
+                                bytes_in=slab.nbytes) as sp:
+                blob = get_compressor(codec, eb=eb, mode="abs",
+                                      **kwargs).compress(slab)
+                sp.set(bytes_out=len(blob))
+        return blob, reg.spans, os.getpid()
+    telemetry.disable()
+    blob = get_compressor(codec, eb=eb, mode="abs", **kwargs).compress(slab)
+    return blob, None, os.getpid()
+
+
+def _decompress_slab_task(payload):
+    index, blob, trace = payload
+    if trace:
+        with telemetry.recording() as reg:
+            with telemetry.span("slab.read", index=index,
+                                bytes_in=len(blob)) as sp:
+                out = decompress_any(blob)
+                sp.set(bytes_out=out.nbytes)
+        return out, reg.spans, os.getpid()
+    telemetry.disable()
+    return decompress_any(blob), None, os.getpid()
+
+
+def _compress_field_task(payload):
+    index, data, codec, kwargs, trace = payload
+    if trace:
+        with telemetry.recording() as reg:
+            with telemetry.span("runtime.field", index=index, codec=codec,
+                                bytes_in=data.nbytes) as sp:
+                blob = get_compressor(codec, **kwargs).compress(data)
+                sp.set(bytes_out=len(blob))
+        return blob, reg.spans, os.getpid()
+    telemetry.disable()
+    return get_compressor(codec, **kwargs).compress(data), None, os.getpid()
+
+
+def _decompress_field_task(payload):
+    index, blob, trace = payload
+    if trace:
+        with telemetry.recording() as reg:
+            with telemetry.span("runtime.field", index=index,
+                                bytes_in=len(blob)) as sp:
+                out = decompress_any(blob)
+                sp.set(bytes_out=out.nbytes)
+        return out, reg.spans, os.getpid()
+    telemetry.disable()
+    return decompress_any(blob), None, os.getpid()
+
+
+# -- parallel slab runtime --------------------------------------------------
+
+def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
+                            workers: int | str | None = None,
+                            **writer_kwargs) -> bytes:
+    """Slab-stream a field like :func:`repro.streaming.compress_slabs`,
+    compressing slabs concurrently across worker processes.
+
+    The output is **byte-identical** to the serial path for any
+    ``workers`` value: slabs are cut at the same plane boundaries,
+    compressed by the same deterministic codec configuration, and framed
+    in their original order.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return compress_slabs(data, slab_planes, **writer_kwargs)
+    if slab_planes < 1:
+        raise ConfigError("slab_planes must be >= 1")
+    if writer_kwargs.get("mode") == "rel" \
+            and "value_range" not in writer_kwargs:
+        writer_kwargs["value_range"] = float(data.max() - data.min())
+    # the writer validates the config and resolves rel->abs exactly as the
+    # serial path does; its (codec, eb, kwargs) config is the work spec
+    writer = SlabWriter(**writer_kwargs)
+    slabs = [np.ascontiguousarray(data[start:start + slab_planes])
+             for start in range(0, data.shape[0], slab_planes)]
+    if not slabs:
+        raise ConfigError("no slabs appended")
+    trace = telemetry.enabled()
+    with telemetry.span("runtime.compress_slabs", n_slabs=len(slabs),
+                        workers=workers, bytes_in=data.nbytes) as sp:
+        offset = _trace_offset()
+        payloads = [(i, slab, writer.codec, writer.eb, writer.codec_kwargs,
+                     trace) for i, slab in enumerate(slabs)]
+        results = _run_batch(_compress_slab_task, payloads, workers)
+        _merge_worker_trace(results, offset)
+        stream = frame_slabs([blob for blob, _, _ in results])
+        sp.set(bytes_out=len(stream))
+    return stream
+
+
+def parallel_decompress_slabs(stream: bytes, *,
+                              workers: int | str | None = None
+                              ) -> np.ndarray:
+    """Reassemble a slab stream, decoding slabs concurrently."""
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return decompress_slabs(stream)
+    reader = SlabReader(stream)
+    trace = telemetry.enabled()
+    with telemetry.span("runtime.decompress_slabs", n_slabs=len(reader),
+                        workers=workers, bytes_in=len(stream)) as sp:
+        offset = _trace_offset()
+        payloads = [(i, reader.slab_bytes(i), trace)
+                    for i in range(len(reader))]
+        results = _run_batch(_decompress_slab_task, payloads, workers)
+        _merge_worker_trace(results, offset)
+        out = np.concatenate([arr for arr, _, _ in results], axis=0)
+        sp.set(bytes_out=out.nbytes)
+    return out
+
+
+# -- many-field batches -----------------------------------------------------
+
+def map_compress(fields, codec: str = "cuszi", *,
+                 workers: int | str | None = None,
+                 per_item: list[dict] | None = None,
+                 **codec_kwargs) -> list[bytes]:
+    """Compress a batch of fields, returning blobs in input order.
+
+    ``per_item`` optionally overrides the codec configuration of single
+    items (a dict per field; an item dict may also override ``"codec"``).
+    With ``workers`` serial this is a plain loop — same results, same
+    spans — so callers can thread the knob through unconditionally.
+    """
+    fields = list(fields)
+    per_item = list(per_item) if per_item is not None else [{}] * len(fields)
+    if len(per_item) != len(fields):
+        raise ConfigError(f"per_item has {len(per_item)} entries for "
+                          f"{len(fields)} fields")
+    configs = []
+    for overrides in per_item:
+        overrides = dict(overrides)
+        item_codec = overrides.pop("codec", codec)
+        configs.append((item_codec, {**codec_kwargs, **overrides}))
+    workers = resolve_workers(workers)
+    with telemetry.span("runtime.map_compress", n_fields=len(fields),
+                        workers=workers) as root:
+        if workers <= 1:
+            blobs = []
+            for i, (data, (item_codec, kwargs)) in enumerate(
+                    zip(fields, configs)):
+                with telemetry.span("runtime.field", index=i,
+                                    codec=item_codec,
+                                    bytes_in=data.nbytes) as sp:
+                    blob = get_compressor(item_codec, **kwargs
+                                          ).compress(data)
+                    sp.set(bytes_out=len(blob))
+                blobs.append(blob)
+        else:
+            trace = telemetry.enabled()
+            offset = _trace_offset()
+            payloads = [(i, data, item_codec, kwargs, trace)
+                        for i, (data, (item_codec, kwargs))
+                        in enumerate(zip(fields, configs))]
+            results = _run_batch(_compress_field_task, payloads, workers)
+            _merge_worker_trace(results, offset)
+            blobs = [blob for blob, _, _ in results]
+        root.set(bytes_out=sum(len(b) for b in blobs))
+    return blobs
+
+
+def map_decompress(blobs, *, workers: int | str | None = None
+                   ) -> list[np.ndarray]:
+    """Decompress a batch of blobs, returning arrays in input order."""
+    blobs = list(blobs)
+    workers = resolve_workers(workers)
+    with telemetry.span("runtime.map_decompress", n_fields=len(blobs),
+                        workers=workers):
+        if workers <= 1:
+            out = []
+            for i, blob in enumerate(blobs):
+                with telemetry.span("runtime.field", index=i,
+                                    bytes_in=len(blob)) as sp:
+                    arr = decompress_any(blob)
+                    sp.set(bytes_out=arr.nbytes)
+                out.append(arr)
+            return out
+        trace = telemetry.enabled()
+        offset = _trace_offset()
+        payloads = [(i, blob, trace) for i, blob in enumerate(blobs)]
+        results = _run_batch(_decompress_field_task, payloads, workers)
+        _merge_worker_trace(results, offset)
+        return [arr for arr, _, _ in results]

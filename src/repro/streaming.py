@@ -23,15 +23,36 @@ from repro.common.errors import ConfigError, ContainerError
 from repro.registry import decompress_any, get_compressor
 
 __all__ = ["SlabWriter", "SlabReader", "compress_slabs",
-           "decompress_slabs"]
+           "decompress_slabs", "frame_slabs"]
 
 _MAGIC = b"RPST"
 _HDR = struct.Struct("<4sI")          # magic, n_slabs
 _LEN = struct.Struct("<Q")
 
 
+def frame_slabs(blobs: list[bytes]) -> bytes:
+    """Assemble independently-compressed slab blobs into one stream.
+
+    This is the exact framing :meth:`SlabWriter.finish` emits, exposed so
+    the parallel runtime can reassemble worker outputs bit-identically.
+    """
+    if not blobs:
+        raise ConfigError("no slabs appended")
+    parts = [_HDR.pack(_MAGIC, len(blobs))]
+    for blob in blobs:
+        parts.append(_LEN.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
 class SlabWriter:
-    """Incrementally compress a field one axis-0 slab at a time."""
+    """Incrementally compress a field one axis-0 slab at a time.
+
+    The codec configuration is stored as plain ``(codec, eb, kwargs)``
+    data — not a closure — so writers (and the per-slab work items the
+    parallel runtime derives from them) survive ``pickle`` across process
+    boundaries, including spawn-style workers.
+    """
 
     def __init__(self, codec: str = "cuszi", eb: float = 1e-3,
                  mode: str = "abs", value_range: float | None = None,
@@ -44,10 +65,15 @@ class SlabWriter:
             eb = eb * value_range
         elif mode != "abs":
             raise ConfigError(f"unknown eb mode {mode!r}")
-        self._make = lambda: get_compressor(codec, eb=eb, mode="abs",
-                                            **kwargs)
+        self.codec = codec
+        self.eb = float(eb)
+        self.codec_kwargs = dict(kwargs)
         self._blobs: list[bytes] = []
         self._shape_tail: tuple[int, ...] | None = None
+
+    def _make(self):
+        return get_compressor(self.codec, eb=self.eb, mode="abs",
+                              **self.codec_kwargs)
 
     def append(self, slab: np.ndarray) -> int:
         """Compress one slab; returns its compressed size in bytes."""
@@ -73,13 +99,7 @@ class SlabWriter:
 
     def finish(self) -> bytes:
         """Assemble the slab stream."""
-        if not self._blobs:
-            raise ConfigError("no slabs appended")
-        parts = [_HDR.pack(_MAGIC, len(self._blobs))]
-        for blob in self._blobs:
-            parts.append(_LEN.pack(len(blob)))
-            parts.append(blob)
-        return b"".join(parts)
+        return frame_slabs(self._blobs)
 
 
 class SlabReader:
@@ -108,6 +128,11 @@ class SlabReader:
 
     def __len__(self) -> int:
         return len(self._offsets)
+
+    def slab_bytes(self, index: int) -> bytes:
+        """The still-compressed blob of one slab (no decode)."""
+        pos, length = self._offsets[index]
+        return self._stream[pos:pos + length]
 
     def read_slab(self, index: int) -> np.ndarray:
         """Decompress a single slab by position."""

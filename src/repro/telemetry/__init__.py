@@ -37,8 +37,9 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "Registry", "span", "record_span", "incr", "observe",
-           "enable", "disable", "enabled", "get_registry", "recording"]
+__all__ = ["Span", "Registry", "span", "record_span", "merge_spans",
+           "incr", "observe", "enable", "disable", "enabled",
+           "get_registry", "recording"]
 
 
 @dataclass
@@ -167,6 +168,33 @@ class Registry:
         self._append(sp)
         return sp
 
+    def merge_spans(self, spans: list[Span], parent_id: int | None = None,
+                    offset_s: float = 0.0, **attrs) -> list[Span]:
+        """Graft spans recorded in another registry into this one.
+
+        Used to fold worker-process traces back into the parent trace:
+        span ids are re-allocated here (worker ids restart at 1 and would
+        collide), parent links are remapped, and starts are shifted by
+        ``offset_s`` so the workers' private epochs line up with this
+        registry's clock. Roots of the merged set attach under
+        ``parent_id`` (default: the caller's currently open span), and
+        ``attrs`` (e.g. a worker index) are stamped onto every span.
+        """
+        if parent_id is None:
+            stack = self._stack()
+            parent_id = stack[-1] if stack else None
+        idmap = {sp.span_id: self._alloc_id() for sp in spans}
+        merged = [Span(name=sp.name, span_id=idmap[sp.span_id],
+                       parent_id=idmap.get(sp.parent_id, parent_id),
+                       start=sp.start + offset_s,
+                       duration_s=sp.duration_s,
+                       attrs={**sp.attrs, **attrs},
+                       status=sp.status, thread=sp.thread)
+                  for sp in spans]
+        with self._lock:
+            self.spans.extend(merged)
+        return merged
+
     def incr(self, name: str, value: float = 1.0) -> None:
         """Add ``value`` to a named monotonic counter."""
         with self._lock:
@@ -242,6 +270,15 @@ def record_span(name: str, duration_s: float,
     if not _enabled:
         return None
     return _registry.record_span(name, duration_s, parent_id, **attrs)
+
+
+def merge_spans(spans: list[Span], parent_id: int | None = None,
+                offset_s: float = 0.0, **attrs) -> list[Span]:
+    """Merge foreign (e.g. worker-process) spans; no-op while disabled."""
+    if not _enabled or not spans:
+        return []
+    return _registry.merge_spans(spans, parent_id=parent_id,
+                                 offset_s=offset_s, **attrs)
 
 
 def incr(name: str, value: float = 1.0) -> None:

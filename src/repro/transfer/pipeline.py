@@ -21,7 +21,8 @@ from repro.gpu.device import A100_THETA, DeviceSpec
 from repro.gpu.perfmodel import estimate_throughput
 from repro.transfer.globus import THETA_TO_ANVIL, TransferLink
 
-__all__ = ["FileSpec", "PipelineSchedule", "pipelined_transfer"]
+__all__ = ["FileSpec", "PipelineSchedule", "pipelined_transfer",
+           "filespecs_from_fields", "pipelined_transfer_fields"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,49 @@ class PipelineSchedule:
     def overlap_speedup(self) -> float:
         """Serial time / pipelined makespan (>= 1)."""
         return self.serial_time / self.makespan if self.makespan else 1.0
+
+
+def filespecs_from_fields(named_fields, codec: str = "cuszi", *,
+                          eb: float = 1e-3, mode: str = "rel",
+                          lossless: str = "gle",
+                          workers: int | str | None = None,
+                          **codec_kwargs) -> list[FileSpec]:
+    """Compress real arrays into the :class:`FileSpec` list a schedule
+    needs — measured compressed sizes, not modelled ones.
+
+    ``named_fields`` is a sequence of ``(name, ndarray)`` pairs; the
+    fields are independent, so the codec work fans out across worker
+    processes via :func:`repro.runtime.map_compress` when ``workers`` is
+    set (results are identical either way).
+    """
+    from repro.runtime import map_compress
+    named_fields = list(named_fields)
+    if not named_fields:
+        raise ConfigError("no fields to compress")
+    blobs = map_compress([data for _, data in named_fields], codec,
+                         workers=workers, eb=eb, mode=mode,
+                         lossless=lossless, **codec_kwargs)
+    return [FileSpec(name=name, n_elements=int(data.size),
+                     compressed_bytes=len(blob))
+            for (name, data), blob in zip(named_fields, blobs)]
+
+
+def pipelined_transfer_fields(codec: str, named_fields, *,
+                              link: TransferLink = THETA_TO_ANVIL,
+                              src_device: DeviceSpec = A100_THETA,
+                              dst_device: DeviceSpec = A100_THETA,
+                              eb: float = 1e-3, mode: str = "rel",
+                              lossless: str = "gle",
+                              workers: int | str | None = None,
+                              **codec_kwargs) -> PipelineSchedule:
+    """Compress real arrays (optionally in parallel), then schedule them
+    through the three-stage transfer pipeline."""
+    files = filespecs_from_fields(named_fields, codec, eb=eb, mode=mode,
+                                  lossless=lossless, workers=workers,
+                                  **codec_kwargs)
+    return pipelined_transfer(codec, files, link=link,
+                              src_device=src_device, dst_device=dst_device,
+                              lossless=lossless)
 
 
 def pipelined_transfer(codec: str, files: list[FileSpec],
