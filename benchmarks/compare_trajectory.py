@@ -1,0 +1,82 @@
+"""Compare a fresh BENCH_pipeline.json against the committed baseline.
+
+CI runs this after re-emitting the trajectory: it prints GitHub Actions
+``::warning::`` annotations when the compiled-engine execute time (the
+``ginterp`` section's repeated-compress loop) regresses by more than
+``THRESHOLD`` against the baseline taken from ``git show``. It *warns*,
+never fails — shared-runner wall times are too noisy to gate merges on,
+but the annotation makes a slowdown visible on the PR.
+
+Usage::
+
+    python benchmarks/compare_trajectory.py \
+        [--current BENCH_pipeline.json] [--base-ref HEAD] [--threshold 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+
+#: relative regression of compiled ginterp execute time that triggers a
+#: warning (the issue's acceptance bar: warn above 25%)
+THRESHOLD = 0.25
+
+
+def load_baseline(ref: str, path: str) -> dict | None:
+    try:
+        out = subprocess.run(["git", "show", f"{ref}:{path}"],
+                             capture_output=True, text=True, check=True)
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    try:
+        return json.loads(out.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", default="BENCH_pipeline.json")
+    ap.add_argument("--base-ref", default="HEAD")
+    ap.add_argument("--threshold", type=float, default=THRESHOLD)
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"::warning::cannot read {args.current}: {exc}")
+        return 0
+    baseline = load_baseline(args.base_ref, "BENCH_pipeline.json")
+    if baseline is None:
+        print(f"no committed BENCH_pipeline.json at {args.base_ref}; "
+              f"nothing to compare")
+        return 0
+
+    cur_g = current.get("ginterp")
+    base_g = baseline.get("ginterp")
+    if not cur_g or not base_g:
+        print("ginterp section missing on one side (schema < 3); skipping")
+        return 0
+
+    for key in ("compiled_compress_s", "reference_compress_s"):
+        old, new = base_g.get(key), cur_g.get(key)
+        if not old or not new:
+            continue
+        rel = (new - old) / old
+        marker = ("::warning::" if key == "compiled_compress_s"
+                  and rel > args.threshold else "")
+        print(f"{marker}ginterp {key}: {old:.6f}s -> {new:.6f}s "
+              f"({rel:+.1%}, warn threshold +{args.threshold:.0%})")
+
+    old_sp, new_sp = base_g.get("speedup"), cur_g.get("speedup")
+    if old_sp and new_sp:
+        print(f"compiled-vs-reference speedup: {old_sp}x -> {new_sp}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

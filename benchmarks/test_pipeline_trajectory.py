@@ -9,7 +9,13 @@ to catch wall-time or ratio regressions without parsing pytest logs.
 Beyond the per-codec serial times, a ``runtime`` section times the same
 field through the slab runtime serially and with a ``workers >= 2``
 process pool (:mod:`repro.runtime`), recording the parallel speedup the
-trajectory should preserve. See ``docs/PERFORMANCE.md``.
+trajectory should preserve, and a ``ginterp`` section (schema 3) times a
+repeated-compress loop through the compiled pass-plan cache
+(:mod:`repro.core.ginterp.plans`) against the uncompiled reference
+traversal — per-pass compile vs execute wall time, the warm-cache
+speedup, and the plan-cache hit counters (including the decompress
+replay and an eb-retune, which must reuse the plan). See
+``docs/PERFORMANCE.md`` and ``benchmarks/compare_trajectory.py``.
 """
 
 import json
@@ -86,14 +92,80 @@ def test_emit_pipeline_trajectory():
         "cpu_count": os.cpu_count(),
     }
 
+    # compiled pass-plan engine: repeated-compress loop, warm plan cache,
+    # against the uncompiled reference traversal on the same field
+    from repro import telemetry
+    from repro.core.ginterp import (InterpSpec, clear_plan_cache,
+                                    interp_compress, interp_decompress,
+                                    get_plan, plan_cache_stats)
+    spec = InterpSpec(anchor_stride=8, window_shape=(9, 9, 33)).resolved(3)
+    abs_eb = EB * float(data.max() - data.min())
+    clear_plan_cache()
+    plan = get_plan(shape, spec)            # the one cold compile
+    reps, rounds = 5, 3
+
+    def _best(fn):
+        # best-of-rounds mean: robust to scheduler noise on shared runners
+        fn()                                                # warm
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            best = min(best, (time.perf_counter() - t0) / reps)
+        return best
+
+    ref_s = _best(lambda: interp_compress(data, spec, abs_eb,
+                                          compiled=False))
+    cmp_s = _best(lambda: interp_compress(data, spec, abs_eb))
+    # per-pass execute time from one traced compiled run
+    with telemetry.recording() as rec:
+        res = interp_compress(data, spec, abs_eb)
+    exec_by_pass = {}
+    for sp in rec.spans:
+        if sp.name == "ginterp.pass":
+            k = (sp.attrs.get("level"), sp.attrs.get("axis"))
+            exec_by_pass[k] = exec_by_pass.get(k, 0.0) + sp.duration_s
+    per_pass = [{
+        "level": cp.desc.level,
+        "axis": cp.desc.axis,
+        "targets": cp.n_targets,
+        "compile_s": round(cp.compile_s, 6),
+        "execute_s": round(
+            exec_by_pass.get((cp.desc.level, cp.desc.axis), 0.0), 6),
+    } for cp in plan.passes]
+    # the decompress replay and an eb-retune (different alpha, same
+    # geometry) must both hit the cached plan
+    interp_decompress(shape, spec, abs_eb, res.codes, res.outliers,
+                      res.anchors)
+    retune = InterpSpec(anchor_stride=8, window_shape=(9, 9, 33),
+                        alpha=1.75).resolved(3)
+    interp_compress(data, retune, abs_eb / 10)
+    cache = plan_cache_stats()
+    assert cache["misses"] == 1, "repeated traversals must share one plan"
+    ginterp = {
+        "plan_compile_s": round(plan.compile_s, 6),
+        "plan_nbytes": plan.nbytes,
+        "n_fused": plan.n_fused,
+        "n_gather": plan.n_gather,
+        "reps": reps,
+        "rounds": rounds,
+        "reference_compress_s": round(ref_s, 6),
+        "compiled_compress_s": round(cmp_s, 6),
+        "speedup": round(ref_s / cmp_s, 4) if cmp_s else 0.0,
+        "per_pass": per_pass,
+        "plan_cache": cache,
+    }
+
     doc = {
-        "schema": 2,
+        "schema": 3,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
         "mode": "rel",
         "results": results,
         "runtime": runtime,
+        "ginterp": ginterp,
     }
     path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"
     with open(path, "w") as f:

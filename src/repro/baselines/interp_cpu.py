@@ -20,6 +20,7 @@ from repro.common.quantizer import DEFAULT_RADIUS, LinearQuantizer
 from repro.core.ginterp.autotune import autotune
 from repro.core.ginterp.engine import (InterpSpec, interp_compress,
                                        interp_decompress)
+from repro.core.ginterp.plans import get_plan
 from repro.core.pipeline import resolve_eb
 from repro.huffman import HuffmanStream, huffman_decode, huffman_encode
 
@@ -79,7 +80,10 @@ class InterpCPUBase:
         abs_eb = resolve_eb(data, self.eb, self.mode)
         quantizer = LinearQuantizer(self.radius, value_dtype=data.dtype)
         spec = self._build_spec(data, abs_eb)
-        result = interp_compress(data, spec, abs_eb, quantizer)
+        # CPU references share the same plan LRU as the GPU-path codec:
+        # spec differences (stride, no window) key separate entries
+        plan = get_plan(data.shape, spec)
+        result = interp_compress(data, spec, abs_eb, quantizer, plan=plan)
         stream = huffman_encode(result.codes, quantizer.n_codes,
                                 self.huffman_chunk)
         meta = {
@@ -114,6 +118,7 @@ class InterpCPUBase:
         anchor_shape = tuple(-(-n // spec.anchor_stride) for n in shape)
         anchors = np.frombuffer(segments["anchors"],
                                 dtype=dtype).reshape(anchor_shape)
+        plan = get_plan(shape, spec.resolved(len(shape)))
         work = interp_decompress(shape, spec, abs_eb, codes, outliers,
-                                 anchors, quantizer)
+                                 anchors, quantizer, plan=plan)
         return work.astype(dtype)

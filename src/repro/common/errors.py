@@ -21,5 +21,10 @@ class ContainerError(ReproError):
     """A serialized container blob is malformed or version-incompatible."""
 
 
+class CorruptStreamError(CodecError):
+    """A decode stream (quant-codes, outliers) ran dry or had bytes left
+    over — truncated or corrupt input that would otherwise decode garbage."""
+
+
 class DataError(ReproError):
     """Input data is unusable (wrong dtype/shape, non-finite, empty...)."""

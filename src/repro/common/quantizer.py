@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, CorruptStreamError
 
 __all__ = ["LinearQuantizer", "QuantResult", "DEFAULT_RADIUS"]
 
@@ -117,7 +117,10 @@ class LinearQuantizer:
 
         ``outlier_values`` is the full compacted outlier stream;
         ``outlier_cursor`` the index of the next unconsumed outlier. Returns
-        the reconstructed float64 values and the advanced cursor.
+        the reconstructed float64 values and the advanced cursor. Raises
+        :class:`~repro.common.errors.CorruptStreamError` when the outlier
+        stream runs dry — a short slice would silently reconstruct garbage
+        at every remaining outlier position.
         """
         if eb <= 0:
             raise ConfigError(f"error bound must be positive, got {eb}")
@@ -131,5 +134,9 @@ class LinearQuantizer:
         n_out = int(is_out.sum())
         if n_out:
             take = outlier_values[outlier_cursor:outlier_cursor + n_out]
+            if take.size != n_out:
+                raise CorruptStreamError(
+                    f"outlier stream exhausted: pass has {n_out} outlier "
+                    f"code(s) but only {take.size} stored value(s) remain")
             recon[is_out] = take.astype(np.float64)
         return recon, outlier_cursor + n_out

@@ -8,7 +8,10 @@ The package splits along the paper's own structure:
   compressor and decompressor, and reused (with different parameters) by
   the CPU SZ3/QoZ reference implementations;
 * :mod:`repro.core.ginterp.autotune` — profiling-based auto-tuning (§V-C);
-* :mod:`repro.core.ginterp.anchors` — lossless anchor-point storage.
+* :mod:`repro.core.ginterp.anchors` — lossless anchor-point storage;
+* :mod:`repro.core.ginterp.plans` — compiled pass plans: precomputed
+  per-``(shape, geometry)`` traversal geometry with fused strided-view
+  prediction kernels, LRU-cached per process.
 """
 
 from repro.core.ginterp.splines import (
@@ -26,6 +29,14 @@ from repro.core.ginterp.engine import (
 )
 from repro.core.ginterp.autotune import autotune, alpha_from_eb
 from repro.core.ginterp.anchors import extract_anchors, apply_anchors
+from repro.core.ginterp.plans import (
+    PassPlan,
+    compile_plan,
+    get_plan,
+    plan_cache_stats,
+    clear_plan_cache,
+    set_plan_cache_limit,
+)
 
 __all__ = [
     "SPLINE_WEIGHTS",
@@ -41,4 +52,10 @@ __all__ = [
     "alpha_from_eb",
     "extract_anchors",
     "apply_anchors",
+    "PassPlan",
+    "compile_plan",
+    "get_plan",
+    "plan_cache_stats",
+    "clear_plan_cache",
+    "set_plan_cache_limit",
 ]

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.common.errors import DataError
 from repro.core.ginterp.splines import (CUBIC_NAK, CUBIC_NAT,
                                         SPLINE_WEIGHTS)
 
@@ -133,11 +134,14 @@ def profile_cubic_errors(data: np.ndarray,
             continue
         pts = flat_pts[ok]
         vals = values[ok]
-        neigh = np.empty((pts.shape[0], 4), dtype=np.float64)
-        for j, off in enumerate(offsets):
-            moved = pts.copy()
-            moved[:, ax] = moved[:, ax] + off
-            neigh[:, j] = data[tuple(moved.T)]
+        # one advanced-index gather for all four neighbors: every axis
+        # index broadcasts as a (1, npts) row except the profiled axis,
+        # which fans out to the (4, npts) offset grid — no per-offset
+        # coordinate copies
+        idx = [pts[:, d][None, :] for d in range(ndim)]
+        idx[ax] = pts[:, ax][None, :] + offsets[:, None]
+        neigh = np.ascontiguousarray(
+            data[tuple(idx)].T).astype(np.float64)
         errors[ax, 0] = np.abs(neigh @ weights_nak - vals).sum()
         errors[ax, 1] = np.abs(neigh @ weights_nat - vals).sum()
     return errors
@@ -150,7 +154,16 @@ def autotune(data: np.ndarray, abs_eb: float,
     The data-dependent parts (value range, sampled cubic errors) are
     memoized per field content; only the cheap ``abs_eb``-dependent alpha
     map reruns when the same field is compressed at a new error bound.
+
+    Non-finite fields are rejected up front: a NaN/Inf sample makes the
+    value range (hence ``rel_eb`` and alpha) NaN and poisons the sampled
+    spline errors, silently mistuning the whole traversal.
     """
+    if not np.isfinite(data).all():
+        bad = int(data.size - np.isfinite(data).sum())
+        raise DataError(
+            f"autotune input contains {bad} non-finite value(s) "
+            f"(NaN/Inf); mask or filter them before tuning")
     key = _content_key(data, samples)
     with _cache_lock:
         cached = _profile_cache.get(key)

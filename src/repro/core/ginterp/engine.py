@@ -15,6 +15,15 @@ fully parallel GPU kernel launch). Compression and decompression run the
 identical pass plan and identical float64 arithmetic; the only difference is
 whether quant-codes are produced or consumed, which guarantees bit-exact
 replay.
+
+By default both traversals execute through a **compiled pass plan**
+(:mod:`repro.core.ginterp.plans`): the per-pass geometry — target indices,
+spline classification, neighbor addressing — is precomputed once per
+``(shape, geometry)`` and LRU-cached, and the interior majority of every
+pass is predicted through fused strided-view kernels instead of index
+gathers. The compiled path is bit-identical to the reference path here
+(the equivalence suite asserts it); pass ``compiled=False`` to force the
+uncompiled reference traversal.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, CorruptStreamError, DataError
 from repro.common.quantizer import LinearQuantizer
 from repro.core.ginterp.anchors import apply_anchors, extract_anchors
 from repro.core.ginterp.splines import (NEIGHBOR_OFFSETS, SPLINE_WEIGHTS,
@@ -249,16 +258,54 @@ def _pass_predict(work_flat: np.ndarray, shape: tuple[int, ...],
     return flat, pred
 
 
+def _resolve_plan(shape: tuple[int, ...], spec: InterpSpec, plan,
+                  compiled: bool):
+    """Normalize the ``plan=``/``compiled=`` fast-path knobs.
+
+    ``plan`` may be an explicit :class:`~repro.core.ginterp.plans.PassPlan`
+    (validated against this call's geometry); otherwise ``compiled=True``
+    fetches the LRU-cached plan and ``compiled=False`` selects the
+    uncompiled reference traversal (returns ``None``).
+    """
+    from repro.core.ginterp import plans as _plans
+    if plan is not None:
+        key = _plans._plan_key(shape, spec)
+        if plan.key != key:
+            raise ConfigError(
+                f"pass plan was compiled for {plan.key}, not {key}")
+        return plan
+    if compiled:
+        return _plans.get_plan(shape, spec)
+    return None
+
+
+def _check_finite(data: np.ndarray) -> None:
+    """Reject NaN/Inf up front: a single non-finite sample poisons every
+    prediction that (even with zero weight) gathers it — ``0.0 * inf``
+    is NaN — and would silently destroy the whole field."""
+    if not np.isfinite(data).all():
+        bad = int(data.size - np.isfinite(data).sum())
+        raise DataError(
+            f"interpolation input contains {bad} non-finite value(s) "
+            f"(NaN/Inf); mask or filter them before compression")
+
+
 def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
-                    quantizer: LinearQuantizer | None = None) -> InterpResult:
+                    quantizer: LinearQuantizer | None = None, *,
+                    plan=None, compiled: bool = True) -> InterpResult:
     """Run the full interpolation-compression traversal.
 
     ``data`` is the (possibly padded) float field; returns quant-codes in
     pass order, compacted outliers, the float32 anchor grid, and the exact
     reconstruction the decompressor will reproduce.
+
+    ``plan``/``compiled`` select the execution path (see
+    :func:`_resolve_plan`); all paths produce bit-identical streams.
     """
     spec = spec.resolved(data.ndim)
+    _check_finite(data)
     quantizer = quantizer or LinearQuantizer()
+    plan = _resolve_plan(data.shape, spec, plan, compiled)
     work = data.astype(np.float64, copy=True)
     anchors = extract_anchors(work, spec.anchor_stride,
                               quantizer.value_dtype)
@@ -270,23 +317,43 @@ def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
     outlier_parts: list[np.ndarray] = []
     sizes: list[int] = []
     orig_flat = data.ravel()
-    for p in pass_plan(data.ndim, spec):
+    if plan is not None:
+        scr_pred, scr_mul, scr_ev = plan.workspace()
+    for step in (plan.passes if plan is not None
+                 else pass_plan(data.ndim, spec)):
+        p = step.desc if plan is not None else step
         # one span per level/axis pass, mirroring one GPU kernel launch
         with telemetry.span("ginterp.pass", level=p.level, axis=p.axis,
                             stride=p.stride) as psp:
-            with telemetry.span("ginterp.gather"):
-                flat, pred = _pass_predict(work_flat, data.shape, spec, p)
-            sizes.append(flat.size)
-            psp.set(targets=int(flat.size))
-            if flat.size == 0:
+            with telemetry.span("ginterp.gather",
+                                compiled=plan is not None):
+                if plan is not None:
+                    n = step.n_targets
+                    pred = step.predict(work, work_flat, scr_pred,
+                                         scr_mul, scr_ev)
+                else:
+                    flat, pred = _pass_predict(work_flat, data.shape,
+                                               spec, p)
+                    n = flat.size
+            sizes.append(int(n))
+            psp.set(targets=int(n))
+            if n == 0:
                 continue
             with telemetry.span("ginterp.quantize", level=p.level):
-                res = quantizer.quantize(orig_flat[flat], pred,
-                                         ebs[p.level])
-            work_flat[flat] = res.reconstructed
+                # the target lattice reads/writes through strided views on
+                # the compiled path; both index the same raveled block
+                # order, so streams stay byte-identical
+                vals = (data[step.target_view] if plan is not None
+                        else orig_flat[flat])
+                res = quantizer.quantize(vals, pred, ebs[p.level])
+            if plan is not None:
+                work[step.target_view] = \
+                    res.reconstructed.reshape(step.block_shape)
+            else:
+                work_flat[flat] = res.reconstructed
             codes_parts.append(res.codes)
             outlier_parts.append(res.outlier_values)
-            telemetry.observe("ginterp.pass_targets", flat.size)
+            telemetry.observe("ginterp.pass_targets", n)
 
     codes = (np.concatenate(codes_parts) if codes_parts
              else np.empty(0, np.uint32))
@@ -299,15 +366,19 @@ def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
 def interp_decompress(shape: tuple[int, ...], spec: InterpSpec, eb: float,
                       codes: np.ndarray, outliers: np.ndarray,
                       anchors: np.ndarray,
-                      quantizer: LinearQuantizer | None = None
-                      ) -> np.ndarray:
+                      quantizer: LinearQuantizer | None = None, *,
+                      plan=None, compiled: bool = True) -> np.ndarray:
     """Replay :func:`interp_compress` from its outputs.
 
     Returns the float64 reconstruction, bit-identical to
-    ``InterpResult.reconstructed``.
+    ``InterpResult.reconstructed``. Raises
+    :class:`~repro.common.errors.CorruptStreamError` when the quant-code
+    or outlier stream is shorter (or longer) than the traversal demands —
+    truncated input must fail loudly, not decode garbage.
     """
     spec = spec.resolved(len(shape))
     quantizer = quantizer or LinearQuantizer()
+    plan = _resolve_plan(tuple(shape), spec, plan, compiled)
     work = np.zeros(shape, dtype=np.float64)
     apply_anchors(work, anchors.reshape(
         tuple(-(-n // spec.anchor_stride) for n in shape)),
@@ -315,20 +386,44 @@ def interp_decompress(shape: tuple[int, ...], spec: InterpSpec, eb: float,
     work_flat = work.ravel()
 
     ebs = level_error_bounds(eb, spec)
+    codes = np.asarray(codes)
     cursor = 0
     out_cursor = 0
-    for p in pass_plan(len(shape), spec):
+    if plan is not None:
+        scr_pred, scr_mul, scr_ev = plan.workspace()
+    for step in (plan.passes if plan is not None
+                 else pass_plan(len(shape), spec)):
+        p = step.desc if plan is not None else step
         with telemetry.span("ginterp.pass", level=p.level, axis=p.axis,
                             stride=p.stride) as psp:
-            with telemetry.span("ginterp.gather"):
-                flat, pred = _pass_predict(work_flat, shape, spec, p)
-            psp.set(targets=int(flat.size))
-            if flat.size == 0:
+            with telemetry.span("ginterp.gather",
+                                compiled=plan is not None):
+                if plan is not None:
+                    n = step.n_targets
+                    pred = step.predict(work, work_flat, scr_pred,
+                                         scr_mul, scr_ev)
+                else:
+                    flat, pred = _pass_predict(work_flat, shape, spec, p)
+                    n = flat.size
+            psp.set(targets=int(n))
+            if n == 0:
                 continue
-            pass_codes = codes[cursor:cursor + flat.size]
-            cursor += flat.size
+            if cursor + n > codes.size:
+                raise CorruptStreamError(
+                    f"quant-code stream exhausted at level {p.level} "
+                    f"axis {p.axis}: pass needs {n} codes, "
+                    f"{codes.size - cursor} remain")
+            pass_codes = codes[cursor:cursor + n]
+            cursor += n
             with telemetry.span("ginterp.dequantize", level=p.level):
                 recon, out_cursor = quantizer.dequantize(
                     pass_codes, pred, ebs[p.level], outliers, out_cursor)
-            work_flat[flat] = recon
+            if plan is not None:
+                work[step.target_view] = recon.reshape(step.block_shape)
+            else:
+                work_flat[flat] = recon
+    if cursor != codes.size:
+        raise CorruptStreamError(
+            f"quant-code stream has {codes.size - cursor} trailing "
+            f"code(s) after the final pass")
     return work

@@ -23,6 +23,12 @@ stays serial, ``workers="auto"`` uses every core, and any explicit
 integer pins the pool size. Serial requests never touch
 ``multiprocessing`` at all, so the default path is exactly the code that
 existed before this module.
+
+Workers warm their own caches exactly like the parent: the Huffman
+codebook LRU *and* the compiled pass-plan LRU
+(:mod:`repro.core.ginterp.plans`) are per-process, so a worker compiles
+each slab geometry once on its first task and reuses it for the rest of
+the batch (same-shape slabs all share one plan entry).
 """
 
 from __future__ import annotations

@@ -10,6 +10,11 @@ The error bound is enforced per slab in **absolute** terms: a value-range
 relative bound would need the global range, which a true stream doesn't
 know. ``mode="rel"`` therefore requires the caller to supply the range
 (most simulations know their physical bounds a priori).
+
+Slabs of one stream share a shape, so after the first slab every
+subsequent compress hits the per-process compiled pass-plan LRU
+(:mod:`repro.core.ginterp.plans`) — the traversal geometry is compiled
+once per stream, not once per slab.
 """
 
 from __future__ import annotations
