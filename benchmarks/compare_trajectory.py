@@ -2,10 +2,11 @@
 
 CI runs this after re-emitting the trajectory: it prints GitHub Actions
 ``::warning::`` annotations when the compiled-engine execute time (the
-``ginterp`` section's repeated-compress loop) regresses by more than
-``THRESHOLD`` against the baseline taken from ``git show``. It *warns*,
-never fails — shared-runner wall times are too noisy to gate merges on,
-but the annotation makes a slowdown visible on the PR.
+``ginterp`` section's repeated-compress loop) or the warm orchestrated
+lossless encode (the ``lossless`` section, schema 4) regresses by more
+than ``THRESHOLD`` against the baseline taken from ``git show``. It
+*warns*, never fails — shared-runner wall times are too noisy to gate
+merges on, but the annotation makes a slowdown visible on the PR.
 
 Usage::
 
@@ -75,6 +76,29 @@ def main(argv: list[str] | None = None) -> int:
     old_sp, new_sp = base_g.get("speedup"), cur_g.get("speedup")
     if old_sp and new_sp:
         print(f"compiled-vs-reference speedup: {old_sp}x -> {new_sp}x")
+
+    # lossless-stage trajectory (schema 4): warn when the warm
+    # (plan-cached) orchestrated encode regresses past the threshold
+    cur_l = current.get("lossless")
+    base_l = baseline.get("lossless")
+    if not cur_l or not base_l:
+        print("lossless section missing on one side (schema < 4); "
+              "skipping")
+        return 0
+    for key in ("warm_encode_us", "cold_encode_us", "orch_decode_us"):
+        old, new = base_l.get(key), cur_l.get(key)
+        if not old or not new:
+            continue
+        rel = (new - old) / old
+        marker = ("::warning::" if key == "warm_encode_us"
+                  and rel > args.threshold else "")
+        print(f"{marker}lossless {key}: {old:.1f}us -> {new:.1f}us "
+              f"({rel:+.1%}, warn threshold +{args.threshold:.0%})")
+    old_b, new_b = base_l.get("orchestrated_bytes"), \
+        cur_l.get("orchestrated_bytes")
+    if old_b and new_b:
+        print(f"orchestrated bytes: {old_b} -> {new_b} "
+              f"({(new_b - old_b) / old_b:+.2%})")
     return 0
 
 

@@ -14,8 +14,12 @@ repeated-compress loop through the compiled pass-plan cache
 (:mod:`repro.core.ginterp.plans`) against the uncompiled reference
 traversal — per-pass compile vs execute wall time, the warm-cache
 speedup, and the plan-cache hit counters (including the decompress
-replay and an eb-retune, which must reuse the plan). See
-``docs/PERFORMANCE.md`` and ``benchmarks/compare_trajectory.py``.
+replay and an eb-retune, which must reuse the plan). A ``lossless``
+section (schema 4) times the segment-aware orchestrator on the cuSZ-i
+container against the whole-container GLE pass it replaces — cold
+(sampling) and warm (plan-cache) encode, decode, the per-segment
+backend plan, and the bytes saved. See ``docs/PERFORMANCE.md`` and
+``benchmarks/compare_trajectory.py``.
 """
 
 import json
@@ -157,8 +161,63 @@ def test_emit_pipeline_trajectory():
         "plan_cache": cache,
     }
 
+    # segment-aware lossless orchestration vs the whole-container GLE
+    # pass it replaces, on the cuSZ-i container for this same field
+    from repro.lossless import (OrchestratorCodec, gle_compress,
+                                gle_decompress)
+    from repro.lossless.orchestrator import (choose_backend,
+                                             orchestrate_compress,
+                                             orchestrate_decompress,
+                                             split_streams, stream_stats)
+    blob = get_compressor("cuszi", eb=EB, mode="rel",
+                          lossless="none").compress(data)
+    container = bytes(blob[5 + blob[4]:])    # strip the RPW1 wrap frame
+    orch = OrchestratorCodec()
+    gle_blob = gle_compress(container)
+    orch_blob = orch.compress_bytes(container)
+    assert orch.decompress_bytes(orch_blob) == container, \
+        "orchestrated blob must round-trip byte-identically"
+    assert gle_decompress(gle_blob) == container
+
+    def _best_us(fn, inner=50):
+        return _best_inner(fn, inner) * 1e6
+
+    def _best_inner(fn, inner):
+        fn()                                                # warm
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                fn()
+            best = min(best, (time.perf_counter() - t0) / inner)
+        return best
+
+    gle_s = _best_us(lambda: gle_compress(container))
+    cold_s = _best_us(lambda: orchestrate_compress(container))
+    warm_s = _best_us(lambda: orch.compress_bytes(container))
+    gle_dec_s = _best_us(lambda: gle_decompress(gle_blob))
+    orch_dec_s = _best_us(lambda: orchestrate_decompress(orch_blob))
+    segments = [{"name": name, "bytes": len(sv),
+                 "backend": choose_backend(stream_stats(sv))}
+                for name, sv in split_streams(container)]
+    lossless = {
+        "container_bytes": len(container),
+        "gle_bytes": len(gle_blob),
+        "orchestrated_bytes": len(orch_blob),
+        "bytes_saved_vs_gle": len(gle_blob) - len(orch_blob),
+        "gle_encode_us": round(gle_s, 1),
+        "cold_encode_us": round(cold_s, 1),
+        "warm_encode_us": round(warm_s, 1),
+        "warm_speedup_vs_gle": round(gle_s / warm_s, 4) if warm_s else 0.0,
+        "gle_decode_us": round(gle_dec_s, 1),
+        "orch_decode_us": round(orch_dec_s, 1),
+        "decode_speedup_vs_gle": round(gle_dec_s / orch_dec_s, 4)
+        if orch_dec_s else 0.0,
+        "segments": segments,
+    }
+
     doc = {
-        "schema": 3,
+        "schema": 4,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
@@ -166,6 +225,7 @@ def test_emit_pipeline_trajectory():
         "results": results,
         "runtime": runtime,
         "ginterp": ginterp,
+        "lossless": lossless,
     }
     path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"
     with open(path, "w") as f:

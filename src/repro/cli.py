@@ -203,8 +203,8 @@ def main(argv=None) -> int:
     p.add_argument("--mode", choices=("rel", "abs"), default="rel")
     p.add_argument("--rate", type=float, default=4.0,
                    help="bits/value for cuzfp")
-    p.add_argument("--lossless", default="gle",
-                   choices=("none", "gle", "zlib"))
+    p.add_argument("--lossless", default="auto",
+                   choices=("none", "gle", "zlib", "auto"))
     p.add_argument("--trace", metavar="FILE", default=None,
                    help="record a JSONL telemetry trace of the run")
     p.set_defaults(func=_cmd_compress)
@@ -244,8 +244,8 @@ def main(argv=None) -> int:
     p.add_argument("--codec", default="cuszi", choices=available())
     p.add_argument("--eb", type=float, default=1e-3)
     p.add_argument("--mode", choices=("rel", "abs"), default="rel")
-    p.add_argument("--lossless", default="gle",
-                   choices=("none", "gle", "zlib"))
+    p.add_argument("--lossless", default="auto",
+                   choices=("none", "gle", "zlib", "auto"))
     p.add_argument("--workers", type=_parse_workers, default=None,
                    metavar="N",
                    help="compress fields across N worker processes "

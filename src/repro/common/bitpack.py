@@ -7,6 +7,12 @@ NumPy transcription expands values to a dense bit matrix and round-trips
 through :func:`numpy.packbits` / :func:`numpy.unpackbits`, which keeps every
 step a single vectorized pass.
 
+Byte-aligned widths never touch the bit matrix: width 8 (the dominant
+class for entropy-coded bytes) is a straight byte copy, widths 1/2/4 fold
+``8/w`` values into each byte with ``8/w`` shift-or passes, and widths
+that are whole bytes (16, 24, 32, ...) go through a big-endian byte view.
+Only the ragged widths (3, 5, 6, 7, ...) pay for the dense expansion.
+
 Bit order is MSB-first within each value and values are laid out
 back-to-back, so a stream packed at width ``w`` occupies exactly
 ``ceil(n*w/8)`` bytes.
@@ -43,6 +49,24 @@ def pack_uint(values: np.ndarray, width: int) -> np.ndarray:
     v = values.astype(np.uint64, copy=False).ravel()
     if width < _MAX_WIDTH and np.any(v >> np.uint64(width)):
         raise CodecError(f"value does not fit in {width} bits")
+    if width == 8:
+        return v.astype(np.uint8)
+    if width in (1, 2, 4):
+        per_byte = 8 // width
+        n = v.size
+        m = -(-n // per_byte)
+        g = v.astype(np.uint8)
+        if m * per_byte != n:
+            g = np.concatenate([g, np.zeros(m * per_byte - n, np.uint8)])
+        g = g.reshape(m, per_byte)
+        out = np.zeros(m, dtype=np.uint8)
+        for j in range(per_byte):
+            out |= g[:, j] << (8 - (j + 1) * width)
+        return out
+    if width % 8 == 0:
+        nb = width // 8
+        be = v.astype(">u8").view(np.uint8).reshape(v.size, 8)
+        return np.ascontiguousarray(be[:, 8 - nb:]).reshape(-1)
     shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
     bits = ((v[:, None] >> shifts[None, :]) & np.uint64(1)).astype(np.uint8)
     return np.packbits(bits.ravel())
@@ -61,6 +85,21 @@ def unpack_uint(packed: np.ndarray, width: int, count: int) -> np.ndarray:
     if packed.size < need:
         raise CodecError(
             f"packed stream too short: {packed.size} bytes < {need}")
+    if width == 8:
+        return packed[:need].astype(np.uint64)
+    if width in (1, 2, 4):
+        per_byte = 8 // width
+        mask = np.uint8((1 << width) - 1)
+        b = packed[:need]
+        vals = np.empty((b.size, per_byte), dtype=np.uint8)
+        for j in range(per_byte):
+            vals[:, j] = (b >> (8 - (j + 1) * width)) & mask
+        return vals.reshape(-1)[:count].astype(np.uint64)
+    if width % 8 == 0:
+        nb = width // 8
+        be = np.zeros((count, 8), dtype=np.uint8)
+        be[:, 8 - nb:] = packed[:need].reshape(count, nb)
+        return be.reshape(-1).view(">u8").astype(np.uint64)
     bits = np.unpackbits(packed[:need], count=count * width)
     bits = bits.reshape(count, width).astype(np.uint64)
     weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64))

@@ -23,10 +23,22 @@ __all__ = ["wrap_lossless", "unwrap_lossless", "peek_codec"]
 
 _MAGIC = b"RPW1"
 
+#: codec instances reused across wrap/unwrap calls. Stateful codecs rely
+#: on this: the orchestrator's plan cache only pays off when successive
+#: containers in a slab loop hit the *same* instance.
+_INSTANCES: dict[str, object] = {}
+
+
+def _codec_for(name: str):
+    codec = _INSTANCES.get(name)
+    if codec is None:
+        codec = _INSTANCES[name] = get_lossless(name)
+    return codec
+
 
 def wrap_lossless(container: bytes, lossless: str) -> bytes:
     """Apply the named lossless pass over a container blob and frame it."""
-    codec = get_lossless(lossless)
+    codec = _codec_for(lossless)
     with telemetry.span("lossless.wrap", codec=codec.name,
                         bytes_in=len(container)) as sp:
         payload = codec.compress_bytes(container)
@@ -44,7 +56,7 @@ def unwrap_lossless(blob: bytes) -> bytes:
     if len(blob) < 5 + nlen:
         raise ContainerError("truncated lossless wrap frame")
     name = blob[5:5 + nlen].decode("utf-8")
-    codec = get_lossless(name)
+    codec = _codec_for(name)
     with telemetry.span("lossless.unwrap", codec=name,
                         bytes_in=len(blob)) as sp:
         inner = codec.decompress_bytes(blob[5 + nlen:])

@@ -99,9 +99,10 @@ class CuSZi:
         Error bound and its interpretation (``"rel"`` = value-range
         relative, ``"abs"`` = absolute).
     lossless:
-        Outer de-redundancy pass: ``"gle"`` (the Bitcomp-lossless stand-in,
-        the paper's full pipeline), ``"none"`` (Huffman-only pipeline), or
-        ``"zlib"``.
+        Outer de-redundancy pass: ``"auto"`` (the default — segment-aware
+        orchestration that picks a backend per container stream),
+        ``"gle"`` (whole-container Bitcomp-lossless stand-in), ``"none"``
+        (Huffman-only pipeline), or ``"zlib"``.
     radius:
         Quantizer radius R; the code alphabet is ``2*radius``.
     tune:
@@ -120,7 +121,7 @@ class CuSZi:
     name = "cuszi"
 
     def __init__(self, eb: float = 1e-3, mode: str = "rel",
-                 lossless: str = "gle", radius: int = DEFAULT_RADIUS,
+                 lossless: str = "auto", radius: int = DEFAULT_RADIUS,
                  tune: bool = True, anchor_stride: int | None = None,
                  window_shape: tuple[int, ...] | None = None,
                  use_windows: bool = True, alpha: float | None = None,

@@ -1,11 +1,16 @@
 """Lossless de-redundancy encoders.
 
-Three encoders live here, each matching a role from the paper:
+Four encoders live here, each matching a role from the paper:
 
 * :mod:`repro.lossless.gle` — "GPU Lossless Encoder", the stand-in for
   NVIDIA Bitcomp-lossless (§VI-B): a pattern-canceling pass over already
   entropy-coded bytes (word run-length + per-block bit-width reduction),
   built from scan/compact primitives that map 1:1 onto GPU kernels.
+* :mod:`repro.lossless.orchestrator` — the segment-aware layer above it:
+  a sampling cost model picks one backend (``gle``/``gle-rle``/
+  ``gle-pack``/``zlib``/``store``) *per container stream* instead of one
+  codec for the whole archive. Registered as ``"auto"``, the pipeline
+  default.
 * :mod:`repro.lossless.bitshuffle` — the bit-transpose stage of FZ-GPU.
 * :mod:`repro.lossless.zstd_like` — zlib wrapper standing in for the Zstd
   stage of the CPU compressors (SZ3/QoZ).
@@ -17,6 +22,9 @@ name for pipeline configuration.
 from repro.lossless.gle import GLECodec, gle_compress, gle_decompress
 from repro.lossless.bitshuffle import bitshuffle, bitunshuffle
 from repro.lossless.zstd_like import ZlibCodec
+from repro.lossless.orchestrator import (OrchestratorCodec,
+                                         orchestrate_compress,
+                                         orchestrate_decompress)
 
 from repro.common.errors import ConfigError
 
@@ -37,23 +45,32 @@ _CODECS = {
     "none": _Passthrough,
     "gle": GLECodec,
     "zlib": ZlibCodec,
+    "auto": OrchestratorCodec,
 }
 
 
-def get_lossless(name: str):
-    """Instantiate a registered lossless codec by name."""
+def get_lossless(name: str, **kwargs):
+    """Instantiate a registered lossless codec by name.
+
+    ``kwargs`` forward to the codec constructor (e.g. the orchestrator's
+    ``profile=``/``workers=`` knobs, ``ZlibCodec(level=...)``).
+    """
     try:
-        return _CODECS[name]()
+        cls = _CODECS[name]
     except KeyError:
         raise ConfigError(
             f"unknown lossless codec {name!r}; choose from "
             f"{sorted(_CODECS)}")
+    return cls(**kwargs)
 
 
 __all__ = [
     "GLECodec",
     "gle_compress",
     "gle_decompress",
+    "OrchestratorCodec",
+    "orchestrate_compress",
+    "orchestrate_decompress",
     "bitshuffle",
     "bitunshuffle",
     "ZlibCodec",

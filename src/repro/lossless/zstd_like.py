@@ -15,6 +15,20 @@ from repro.common.errors import CodecError
 __all__ = ["ZlibCodec"]
 
 
+def _byte_view(data) -> memoryview:
+    """A flat uint8 view over bytes/bytearray/memoryview/NumPy buffers.
+
+    Contiguous inputs are never copied — zlib consumes the buffer
+    directly; only a non-contiguous view (e.g. a sliced array) pays for
+    a compaction.
+    """
+    view = memoryview(data)
+    if view.ndim != 1 or view.format != "B":
+        view = view.cast("B") if view.c_contiguous \
+            else memoryview(view.tobytes())
+    return view
+
+
 class ZlibCodec:
     """zlib wrapper with the common lossless-codec protocol."""
 
@@ -25,11 +39,11 @@ class ZlibCodec:
             raise CodecError(f"zlib level must be 1..9, got {level}")
         self.level = level
 
-    def compress_bytes(self, data: bytes) -> bytes:
-        return zlib.compress(bytes(data), self.level)
+    def compress_bytes(self, data) -> bytes:
+        return zlib.compress(_byte_view(data), self.level)
 
-    def decompress_bytes(self, blob: bytes) -> bytes:
+    def decompress_bytes(self, blob) -> bytes:
         try:
-            return zlib.decompress(bytes(blob))
+            return zlib.decompress(_byte_view(blob))
         except zlib.error as exc:
             raise CodecError(f"zlib decode failed: {exc}")

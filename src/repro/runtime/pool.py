@@ -50,7 +50,19 @@ from repro.streaming import SlabWriter, SlabReader, compress_slabs, \
 
 __all__ = ["resolve_workers", "parallel_compress_slabs",
            "parallel_decompress_slabs", "map_compress", "map_decompress",
-           "shutdown_pools"]
+           "run_batch", "shutdown_pools",
+           "PARALLEL_MIN_ENCODE_BYTES", "PARALLEL_MIN_DECODE_BYTES"]
+
+#: fields smaller than this (raw bytes) compress serially even when a
+#: pool is requested — pickling the slabs out and the blobs back costs
+#: more than the codec work saved
+PARALLEL_MIN_ENCODE_BYTES = 8 * 1024 * 1024
+#: streams smaller than this (compressed bytes) decompress serially even
+#: when a pool is requested. Decode is several times cheaper than encode,
+#: and every decoded slab must be pickled back whole, so the break-even
+#: point sits far above tiny benchmark streams (the 64^3 Nyx field's
+#: ~50 KiB stream decoded 5x *slower* on a forced pool).
+PARALLEL_MIN_DECODE_BYTES = 2 * 1024 * 1024
 
 
 # -- worker-count knob ------------------------------------------------------
@@ -125,6 +137,20 @@ def _run_batch(task, payloads: list, workers: int) -> list:
     raise AssertionError("unreachable")
 
 
+def run_batch(task, payloads: list, workers: int | str | None) -> list:
+    """Run a picklable ``task`` over ``payloads`` on the shared pool.
+
+    Results come back in input order. This is the raw batch primitive the
+    slab/field helpers are built on, exposed for other coarse-grained
+    fan-outs (the lossless orchestrator's block-parallel GLE route).
+    ``workers <= 1`` degrades to a plain in-process loop.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1:
+        return [task(p) for p in payloads]
+    return _run_batch(task, payloads, workers)
+
+
 def _merge_worker_trace(results: list, offset_s: float) -> None:
     """Graft per-item worker spans back into the parent trace."""
     if not telemetry.enabled():
@@ -143,32 +169,55 @@ def _trace_offset() -> float:
 
 # -- worker entry points (module-level: payloads must survive pickle) -------
 
+def _chunk_bounds(n_items: int, n_groups: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``(start, end)`` split of ``n_items``."""
+    n_groups = max(1, min(n_groups, n_items))
+    base, extra = divmod(n_items, n_groups)
+    bounds = []
+    start = 0
+    for g in range(n_groups):
+        end = start + base + (1 if g < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
 def _compress_slab_task(payload):
-    index, slab, codec, eb, kwargs, trace = payload
+    """One pool task = one contiguous *group* of slabs.
+
+    Grouping amortizes pickle/dispatch overhead over the batch and lets
+    each worker reuse its warm codec caches across its whole share.
+    """
+    start, slabs, codec, eb, kwargs, trace = payload
+    comp = get_compressor(codec, eb=eb, mode="abs", **kwargs)
     if trace:
         with telemetry.recording() as reg:
-            with telemetry.span("slab.append", index=index,
-                                bytes_in=slab.nbytes) as sp:
-                blob = get_compressor(codec, eb=eb, mode="abs",
-                                      **kwargs).compress(slab)
-                sp.set(bytes_out=len(blob))
-        return blob, reg.spans, os.getpid()
+            blobs = []
+            for i, slab in enumerate(slabs):
+                with telemetry.span("slab.append", index=start + i,
+                                    bytes_in=slab.nbytes) as sp:
+                    blob = comp.compress(slab)
+                    sp.set(bytes_out=len(blob))
+                blobs.append(blob)
+        return blobs, reg.spans, os.getpid()
     telemetry.disable()
-    blob = get_compressor(codec, eb=eb, mode="abs", **kwargs).compress(slab)
-    return blob, None, os.getpid()
+    return [comp.compress(slab) for slab in slabs], None, os.getpid()
 
 
 def _decompress_slab_task(payload):
-    index, blob, trace = payload
+    start, blobs, trace = payload
     if trace:
         with telemetry.recording() as reg:
-            with telemetry.span("slab.read", index=index,
-                                bytes_in=len(blob)) as sp:
-                out = decompress_any(blob)
-                sp.set(bytes_out=out.nbytes)
+            out = []
+            for i, blob in enumerate(blobs):
+                with telemetry.span("slab.read", index=start + i,
+                                    bytes_in=len(blob)) as sp:
+                    arr = decompress_any(blob)
+                    sp.set(bytes_out=arr.nbytes)
+                out.append(arr)
         return out, reg.spans, os.getpid()
     telemetry.disable()
-    return decompress_any(blob), None, os.getpid()
+    return [decompress_any(blob) for blob in blobs], None, os.getpid()
 
 
 def _compress_field_task(payload):
@@ -201,17 +250,22 @@ def _decompress_field_task(payload):
 
 def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
                             workers: int | str | None = None,
+                            min_parallel_bytes: int | None = None,
                             **writer_kwargs) -> bytes:
     """Slab-stream a field like :func:`repro.streaming.compress_slabs`,
-    compressing slabs concurrently across worker processes.
+    compressing slab groups concurrently across worker processes.
 
     The output is **byte-identical** to the serial path for any
     ``workers`` value: slabs are cut at the same plane boundaries,
     compressed by the same deterministic codec configuration, and framed
-    in their original order.
+    in their original order. Fields below ``min_parallel_bytes`` raw
+    bytes (default :data:`PARALLEL_MIN_ENCODE_BYTES`) take the serial
+    path outright — IPC overhead dwarfs the codec work there.
     """
     workers = resolve_workers(workers)
-    if workers <= 1:
+    if min_parallel_bytes is None:
+        min_parallel_bytes = PARALLEL_MIN_ENCODE_BYTES
+    if workers <= 1 or data.nbytes < min_parallel_bytes:
         return compress_slabs(data, slab_planes, **writer_kwargs)
     if slab_planes < 1:
         raise ConfigError("slab_planes must be >= 1")
@@ -229,32 +283,45 @@ def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
     with telemetry.span("runtime.compress_slabs", n_slabs=len(slabs),
                         workers=workers, bytes_in=data.nbytes) as sp:
         offset = _trace_offset()
-        payloads = [(i, slab, writer.codec, writer.eb, writer.codec_kwargs,
-                     trace) for i, slab in enumerate(slabs)]
+        payloads = [(s, slabs[s:e], writer.codec, writer.eb,
+                     writer.codec_kwargs, trace)
+                    for s, e in _chunk_bounds(len(slabs), workers)]
         results = _run_batch(_compress_slab_task, payloads, workers)
         _merge_worker_trace(results, offset)
-        stream = frame_slabs([blob for blob, _, _ in results])
+        stream = frame_slabs([blob for blobs, _, _ in results
+                              for blob in blobs])
         sp.set(bytes_out=len(stream))
     return stream
 
 
 def parallel_decompress_slabs(stream: bytes, *,
-                              workers: int | str | None = None
+                              workers: int | str | None = None,
+                              min_parallel_bytes: int | None = None
                               ) -> np.ndarray:
-    """Reassemble a slab stream, decoding slabs concurrently."""
+    """Reassemble a slab stream, decoding slab groups concurrently.
+
+    Streams below ``min_parallel_bytes`` compressed bytes (default
+    :data:`PARALLEL_MIN_DECODE_BYTES`) decode serially regardless of
+    ``workers`` — decode is cheap relative to shipping every decoded
+    slab back through a pipe.
+    """
     workers = resolve_workers(workers)
-    if workers <= 1:
+    if min_parallel_bytes is None:
+        min_parallel_bytes = PARALLEL_MIN_DECODE_BYTES
+    if workers <= 1 or len(stream) < min_parallel_bytes:
         return decompress_slabs(stream)
     reader = SlabReader(stream)
     trace = telemetry.enabled()
     with telemetry.span("runtime.decompress_slabs", n_slabs=len(reader),
                         workers=workers, bytes_in=len(stream)) as sp:
         offset = _trace_offset()
-        payloads = [(i, reader.slab_bytes(i), trace)
-                    for i in range(len(reader))]
+        blobs = [reader.slab_bytes(i) for i in range(len(reader))]
+        payloads = [(s, blobs[s:e], trace)
+                    for s, e in _chunk_bounds(len(blobs), workers)]
         results = _run_batch(_decompress_slab_task, payloads, workers)
         _merge_worker_trace(results, offset)
-        out = np.concatenate([arr for arr, _, _ in results], axis=0)
+        out = np.concatenate([arr for arrs, _, _ in results
+                              for arr in arrs], axis=0)
         sp.set(bytes_out=out.nbytes)
     return out
 

@@ -168,9 +168,11 @@ def crosscheck(spans: list[Span], device: DeviceSpec | str = "a100",
                           f"direction {dir_!r}")
 
     lossless = str(root.attrs.get("lossless", "none"))
-    # the perf model only knows the paper's GLE pass; other outer codecs
-    # (zlib) are modelled as absent, which the skew column then surfaces
-    model_lossless = "gle" if lossless == "gle" else "none"
+    # the perf model only knows the paper's GLE pass; the orchestrator
+    # ("auto") is GLE-dominated so it borrows that model, while other
+    # outer codecs (zlib) are modelled as absent, which the skew column
+    # then surfaces
+    model_lossless = "gle" if lossless in ("gle", "auto") else "none"
     timing = estimate_throughput(codec, dir_, n_elements, compressed,
                                  device, model_lossless)
     kernel_s = dict(timing.kernels)

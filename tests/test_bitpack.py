@@ -21,6 +21,17 @@ class TestPackUnpack:
         back = unpack_uint(packed, width, 257)
         np.testing.assert_array_equal(back, vals)
 
+    @pytest.mark.parametrize("width", [1, 2, 4, 8, 16, 24, 32])
+    def test_fast_paths_match_dense_reference(self, width, rng):
+        # byte-aligned widths take dedicated copy/fold paths; their bytes
+        # must equal the generic MSB-first dense-bit-matrix layout
+        vals = rng.integers(0, 2 ** min(width, 32), 300).astype(np.uint64)
+        packed = pack_uint(vals, width)
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = ((vals[:, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        assert np.array_equal(packed, np.packbits(bits.ravel()))
+        assert np.array_equal(unpack_uint(packed, width, vals.size), vals)
+
     def test_width_zero_all_zero(self):
         packed = pack_uint(np.zeros(10, np.uint64), 0)
         assert packed.size == 0

@@ -65,6 +65,22 @@ class TestGLE:
         with pytest.raises(CodecError):
             gle_decompress(b"GLE")
 
+    def test_crc_mismatch_rejected(self):
+        from repro.common.errors import CorruptStreamError
+        blob = bytearray(gle_compress(b"payload" * 400))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(CorruptStreamError):
+            gle_decompress(bytes(blob))
+
+    def test_corruption_error_type(self):
+        # malformed frames raise the CorruptStreamError subclass, so
+        # callers can distinguish damage from configuration mistakes
+        from repro.common.errors import CorruptStreamError
+        with pytest.raises(CorruptStreamError):
+            gle_decompress(b"XXXX" + b"\x00" * 20)
+        with pytest.raises(CorruptStreamError):
+            gle_decompress(b"GLE")
+
     def test_codec_object(self):
         c = GLECodec()
         assert c.decompress_bytes(c.compress_bytes(b"hi" * 500)) \

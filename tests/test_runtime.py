@@ -40,7 +40,8 @@ class TestParallelSlabs:
     def test_byte_identical_to_serial(self, field3d):
         kwargs = dict(codec="cuszi", eb=1e-3, mode="rel", lossless="none")
         serial = compress_slabs(field3d, 5, **kwargs)
-        parallel = parallel_compress_slabs(field3d, 5, workers=2, **kwargs)
+        parallel = parallel_compress_slabs(field3d, 5, workers=2,
+                                           min_parallel_bytes=0, **kwargs)
         assert parallel == serial
 
     def test_serial_knob_uses_serial_path(self, field3d):
@@ -53,14 +54,17 @@ class TestParallelSlabs:
         stream = compress_slabs(field3d, 8, codec="cuszi", eb=1e-3,
                                 mode="abs")
         serial = decompress_slabs(stream)
-        parallel = parallel_decompress_slabs(stream, workers=2)
+        parallel = parallel_decompress_slabs(stream, workers=2,
+                                             min_parallel_bytes=0)
         assert np.array_equal(serial, parallel)
 
     def test_roundtrip_error_bounded(self, field3d):
         stream = parallel_compress_slabs(field3d, 8, workers=2,
+                                         min_parallel_bytes=0,
                                          codec="cuszi", eb=1e-2,
                                          mode="abs")
-        recon = parallel_decompress_slabs(stream, workers=2)
+        recon = parallel_decompress_slabs(stream, workers=2,
+                                          min_parallel_bytes=0)
         assert np.abs(recon - field3d).max() <= 1e-2 * 1.001
 
     def test_empty_field_raises_like_serial(self):
@@ -73,6 +77,50 @@ class TestParallelSlabs:
         with pytest.raises(ConfigError):
             parallel_compress_slabs(field3d, 0, workers=2, codec="cuszi",
                                     eb=1e-3, mode="abs")
+
+    def test_small_inputs_fall_back_to_serial(self, field3d, monkeypatch):
+        # below the size thresholds the pool must never be touched: IPC
+        # costs more than the codec work (the benched decompress ran 5x
+        # slower on a forced pool)
+        from repro.runtime import pool
+
+        def boom(*args, **kwargs):
+            raise AssertionError("pool used below min_parallel_bytes")
+
+        monkeypatch.setattr(pool, "_run_batch", boom)
+        kwargs = dict(codec="cuszi", eb=1e-3, mode="abs")
+        stream = pool.parallel_compress_slabs(field3d, 8, workers=2,
+                                              **kwargs)
+        assert stream == compress_slabs(field3d, 8, **kwargs)
+        out = pool.parallel_decompress_slabs(stream, workers=2)
+        assert np.array_equal(out, decompress_slabs(stream))
+
+    def test_grouped_batches_one_task_per_worker(self, field3d,
+                                                 monkeypatch):
+        from repro.runtime import pool
+        calls = []
+
+        def inline(task, payloads, workers):
+            calls.append(len(payloads))
+            return [task(p) for p in payloads]
+
+        monkeypatch.setattr(pool, "_run_batch", inline)
+        stream = pool.parallel_compress_slabs(
+            field3d, 5, workers=2, min_parallel_bytes=0,
+            codec="cuszi", eb=1e-3, mode="abs")
+        pool.parallel_decompress_slabs(stream, workers=2,
+                                       min_parallel_bytes=0)
+        # 8 slabs collapse into one contiguous group per worker
+        assert calls == [2, 2]
+
+    def test_chunk_bounds_cover_in_order(self):
+        from repro.runtime.pool import _chunk_bounds
+        for n, k in [(8, 2), (7, 3), (3, 5), (1, 1), (16, 4)]:
+            bounds = _chunk_bounds(n, k)
+            flat = [i for s, e in bounds for i in range(s, e)]
+            assert flat == list(range(n))
+            sizes = [e - s for s, e in bounds]
+            assert max(sizes) - min(sizes) <= 1
 
 
 class TestMapBatches:
@@ -158,7 +206,8 @@ class TestTraceMerge:
         with telemetry.recording() as serial_reg:
             compress_slabs(field3d, 8, **kwargs)
         with telemetry.recording() as par_reg:
-            parallel_compress_slabs(field3d, 8, workers=2, **kwargs)
+            parallel_compress_slabs(field3d, 8, workers=2,
+                                    min_parallel_bytes=0, **kwargs)
 
         def slab_bytes(reg):
             return sorted((s.attrs["index"], s.attrs["bytes_out"])
@@ -169,7 +218,8 @@ class TestTraceMerge:
     def test_worker_spans_grafted_under_root(self, field3d):
         with telemetry.recording() as reg:
             parallel_compress_slabs(field3d, 8, workers=2, codec="cuszi",
-                                    eb=1e-3, mode="abs")
+                                    eb=1e-3, mode="abs",
+                                    min_parallel_bytes=0)
         ids = {s.span_id for s in reg.spans}
         assert len(ids) == len(reg.spans), "merged span ids must be unique"
         root = next(s for s in reg.spans
@@ -335,7 +385,8 @@ class TestBatchConsumers:
         from repro.telemetry import exporters
         with telemetry.recording() as reg:
             parallel_compress_slabs(field3d, 8, workers=2, codec="cuszi",
-                                    eb=1e-3, mode="abs")
+                                    eb=1e-3, mode="abs",
+                                    min_parallel_bytes=0)
         rendered = exporters.render_tree(
             exporters.from_jsonl(exporters.to_jsonl(reg)).spans)
         assert "runtime.compress_slabs" in rendered
@@ -350,10 +401,12 @@ class TestRuntimeStress:
         data = smooth_field((48, 32, 32), seed=3)
         kwargs = dict(codec="cuszi", eb=1e-3, mode="rel", lossless="gle")
         serial = compress_slabs(data, 3, **kwargs)  # 16 slabs
-        parallel = parallel_compress_slabs(data, 3, workers=3, **kwargs)
+        parallel = parallel_compress_slabs(data, 3, workers=3,
+                                           min_parallel_bytes=0, **kwargs)
         assert parallel == serial
         assert np.array_equal(parallel_decompress_slabs(parallel,
-                                                        workers=3),
+                                                        workers=3,
+                                                        min_parallel_bytes=0),
                               decompress_slabs(serial))
 
     def test_mixed_codec_batch(self):
@@ -371,6 +424,7 @@ class TestRuntimeStress:
     def test_auto_workers(self):
         data = smooth_field((16, 16, 16), seed=4)
         stream = parallel_compress_slabs(data, 4, workers="auto",
+                                         min_parallel_bytes=0,
                                          codec="cuszi", eb=1e-3,
                                          mode="abs")
         assert stream == compress_slabs(data, 4, codec="cuszi", eb=1e-3,
