@@ -1,48 +1,43 @@
 """Compare a fresh BENCH_pipeline.json against the committed baseline.
 
-CI runs this after re-emitting the trajectory: it prints GitHub Actions
-``::warning::`` annotations when the compiled-engine execute time (the
-``ginterp`` section's repeated-compress loop) or the warm orchestrated
-lossless encode (the ``lossless`` section, schema 4) regresses by more
-than ``THRESHOLD`` against the baseline taken from ``git show``. It
-*warns*, never fails — shared-runner wall times are too noisy to gate
-merges on, but the annotation makes a slowdown visible on the PR.
+Thin CLI wrapper over :mod:`repro.telemetry.sentinel` — the one
+implementation of the ">25% slower than baseline" check, shared with
+``repro stats --check``. CI runs this after re-emitting the trajectory:
+regressed gate metrics (per-section thresholds come from the *committed*
+baseline's schema-5 ``thresholds`` object) print GitHub Actions
+``::warning::`` annotations. It *warns*, never fails — shared-runner
+wall times are too noisy to gate merges on; structural health gates via
+``repro doctor --check`` on the bench run ledger instead.
 
 Usage::
 
-    python benchmarks/compare_trajectory.py \
-        [--current BENCH_pipeline.json] [--base-ref HEAD] [--threshold 0.25]
+    PYTHONPATH=src python benchmarks/compare_trajectory.py \
+        [--current BENCH_pipeline.json] [--base-ref HEAD] [--threshold X]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import subprocess
+import os
 import sys
 
-#: relative regression of compiled ginterp execute time that triggers a
-#: warning (the issue's acceptance bar: warn above 25%)
-THRESHOLD = 0.25
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.telemetry import sentinel  # noqa: E402
 
-def load_baseline(ref: str, path: str) -> dict | None:
-    try:
-        out = subprocess.run(["git", "show", f"{ref}:{path}"],
-                             capture_output=True, text=True, check=True)
-    except (subprocess.CalledProcessError, FileNotFoundError):
-        return None
-    try:
-        return json.loads(out.stdout)
-    except json.JSONDecodeError:
-        return None
+#: kept as the documented default; ``--threshold`` overrides every
+#: section at once, otherwise the baseline document decides
+THRESHOLD = sentinel.DEFAULT_THRESHOLD
 
 
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--current", default="BENCH_pipeline.json")
     ap.add_argument("--base-ref", default="HEAD")
-    ap.add_argument("--threshold", type=float, default=THRESHOLD)
+    ap.add_argument("--threshold", type=float, default=None,
+                    help="override every section's threshold (default: "
+                         "the baseline document's schema-5 thresholds)")
     args = ap.parse_args(argv)
 
     try:
@@ -51,54 +46,39 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"::warning::cannot read {args.current}: {exc}")
         return 0
-    baseline = load_baseline(args.base_ref, "BENCH_pipeline.json")
+    baseline = sentinel.load_baseline(args.base_ref)
     if baseline is None:
         print(f"no committed BENCH_pipeline.json at {args.base_ref}; "
               f"nothing to compare")
         return 0
 
-    cur_g = current.get("ginterp")
-    base_g = baseline.get("ginterp")
-    if not cur_g or not base_g:
-        print("ginterp section missing on one side (schema < 3); skipping")
+    overrides = ({s: args.threshold for s in sentinel.SECTIONS}
+                 if args.threshold is not None else None)
+    findings = sentinel.check(current, baseline, thresholds=overrides)
+    if not findings:
+        print("no comparable sections between current and baseline")
         return 0
+    for line in sentinel.format_findings(findings, github=True):
+        print(line)
 
-    for key in ("compiled_compress_s", "reference_compress_s"):
-        old, new = base_g.get(key), cur_g.get(key)
-        if not old or not new:
-            continue
-        rel = (new - old) / old
-        marker = ("::warning::" if key == "compiled_compress_s"
-                  and rel > args.threshold else "")
-        print(f"{marker}ginterp {key}: {old:.6f}s -> {new:.6f}s "
-              f"({rel:+.1%}, warn threshold +{args.threshold:.0%})")
-
-    old_sp, new_sp = base_g.get("speedup"), cur_g.get("speedup")
-    if old_sp and new_sp:
-        print(f"compiled-vs-reference speedup: {old_sp}x -> {new_sp}x")
-
-    # lossless-stage trajectory (schema 4): warn when the warm
-    # (plan-cached) orchestrated encode regresses past the threshold
-    cur_l = current.get("lossless")
-    base_l = baseline.get("lossless")
-    if not cur_l or not base_l:
-        print("lossless section missing on one side (schema < 4); "
-              "skipping")
-        return 0
-    for key in ("warm_encode_us", "cold_encode_us", "orch_decode_us"):
-        old, new = base_l.get(key), cur_l.get(key)
-        if not old or not new:
-            continue
-        rel = (new - old) / old
-        marker = ("::warning::" if key == "warm_encode_us"
-                  and rel > args.threshold else "")
-        print(f"{marker}lossless {key}: {old:.1f}us -> {new:.1f}us "
-              f"({rel:+.1%}, warn threshold +{args.threshold:.0%})")
-    old_b, new_b = base_l.get("orchestrated_bytes"), \
-        cur_l.get("orchestrated_bytes")
+    # context lines the annotations don't carry: speedups and sizes
+    for section, key, label in (
+            ("ginterp", "speedup", "compiled-vs-reference speedup"),
+            ("runtime", "speedup", "parallel slab speedup"),
+            ("lossless", "warm_speedup_vs_gle", "warm-vs-GLE speedup")):
+        old = (baseline.get(section) or {}).get(key)
+        new = (current.get(section) or {}).get(key)
+        if old and new:
+            print(f"{label}: {old}x -> {new}x")
+    old_b = (baseline.get("lossless") or {}).get("orchestrated_bytes")
+    new_b = (current.get("lossless") or {}).get("orchestrated_bytes")
     if old_b and new_b:
         print(f"orchestrated bytes: {old_b} -> {new_b} "
               f"({(new_b - old_b) / old_b:+.2%})")
+
+    n_reg = sum(1 for f in findings if f.regressed)
+    print(f"{len(findings)} metric(s) compared, {n_reg} regressed "
+          f"(warn-only)")
     return 0
 
 

@@ -18,8 +18,19 @@ replay and an eb-retune, which must reuse the plan). A ``lossless``
 section (schema 4) times the segment-aware orchestrator on the cuSZ-i
 container against the whole-container GLE pass it replaces — cold
 (sampling) and warm (plan-cache) encode, decode, the per-segment
-backend plan, and the bytes saved. See ``docs/PERFORMANCE.md`` and
-``benchmarks/compare_trajectory.py``.
+backend plan, and the bytes saved.
+
+Schema 5 adds the observability layer: a ``thresholds`` object declaring
+each section's regression tolerance (read by
+:mod:`repro.telemetry.sentinel` — the *committed baseline* owns its own
+noise budget), a ``caches`` section snapshotting the unified cache
+registry (:mod:`repro.telemetry.caches`) after the workload, and a
+sibling ``BENCH_ledger.jsonl`` run ledger dumped from the always-on
+flight recorder (:mod:`repro.telemetry.recorder`) — CI uploads it as an
+artifact and gates on ``repro doctor --check`` over it. One compress is
+run with the sampled quality auditor enabled so the ledger always
+carries an error-bound histogram. See ``docs/OBSERVABILITY.md``,
+``docs/PERFORMANCE.md`` and ``benchmarks/compare_trajectory.py``.
 """
 
 import json
@@ -216,19 +227,37 @@ def test_emit_pipeline_trajectory():
         "segments": segments,
     }
 
+    # one quality-audited run so the bench ledger always carries a
+    # sampled error-bound histogram for ``repro doctor`` to inspect
+    from repro.telemetry import caches, quality, recorder
+    quality.enable(every=1, fraction=0.25, block=16, seed=0)
+    try:
+        get_compressor("cuszi", eb=EB, mode="rel").compress(data)
+    finally:
+        quality.disable()
+
     doc = {
-        "schema": 4,
+        "schema": 5,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
         "mode": "rel",
+        # per-section regression tolerance, read by the sentinel from
+        # the *committed* copy of this file (the baseline owns its gate)
+        "thresholds": {"ginterp": 0.25, "lossless": 0.25,
+                       "runtime": 0.25},
         "results": results,
         "runtime": runtime,
         "ginterp": ginterp,
         "lossless": lossless,
+        "caches": caches.snapshot(),
     }
     path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
+    ledger_path = os.path.join(os.path.dirname(path) or ".",
+                               "BENCH_ledger.jsonl")
+    recorder.write_ledger(ledger_path)
     print(f"\nwrote perf trajectory for {len(results)} codecs -> {path}")
+    print(f"wrote {len(recorder.records())} run record(s) -> {ledger_path}")

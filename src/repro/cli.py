@@ -6,6 +6,12 @@ command line), ``repro info`` inspects an archive, ``repro gen`` writes a
 synthetic dataset field, ``repro trace`` pretty-prints a telemetry trace
 (``--trace`` on compress/decompress records one), and ``repro bench``
 forwards to the experiment runner.
+
+``repro stats`` aggregates a flight-recorder run ledger (stage latency
+percentiles, compression-ratio distribution, throughput vs the modelled
+GPU) and ``repro doctor`` diagnoses ledger + environment + cache health
+— ``--check`` makes structural anomalies exit nonzero for CI. See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -174,6 +180,125 @@ def _cmd_unpack(args) -> int:
     return 0
 
 
+def _fmt_pct(entry: dict) -> str:
+    return (f"p50 {entry['p50'] * 1e3:9.2f}ms  "
+            f"p95 {entry['p95'] * 1e3:9.2f}ms  "
+            f"p99 {entry['p99'] * 1e3:9.2f}ms")
+
+
+def _cmd_stats(args) -> int:
+    import json as _json
+    from repro.telemetry import recorder
+
+    try:
+        records = recorder.read_ledger(args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read ledger {args.ledger!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    groups = recorder.aggregate(records)
+    if args.json:
+        print(_json.dumps(groups, indent=2, sort_keys=True))
+    else:
+        for label, entry in groups.items():
+            head = f"{label}: n={entry['n']}"
+            if entry["errors"]:
+                head += f" errors={entry['errors']}"
+            if "workers" in entry:
+                head += f" workers<={entry['workers']}"
+            print(head)
+            print(f"  wall      {_fmt_pct(entry['wall_s'])}")
+            for stage, pct in entry["stages"].items():
+                print(f"  {stage:<9} {_fmt_pct(pct)}")
+            if "ratio" in entry:
+                r = entry["ratio"]
+                print(f"  ratio     p50 {r['p50']:.2f}  "
+                      f"min {r['min']:.2f}  max {r['max']:.2f}")
+            if "throughput_mb_s" in entry:
+                t = entry["throughput_mb_s"]
+                print(f"  thru MB/s p50 {t['p50']:.1f}  "
+                      f"min {t['min']:.1f}  max {t['max']:.1f}")
+            if "cache_hit_ratio" in entry:
+                print(f"  cache hit ratio {entry['cache_hit_ratio']:.1%}")
+
+    # modelled-GPU throughput cross-check: flag records whose measured
+    # stage shares skew far from the perf-model's kernel shares
+    # (text report only — --json emits the aggregate document alone)
+    flagged = 0
+    modelled = 0
+    for rec in records if not args.json else ():
+        dev = recorder.model_deviation(rec, device=args.device)
+        if dev is None:
+            continue
+        modelled += 1
+        if dev["flagged"]:
+            flagged += 1
+            worst = max(dev["stages"].items(),
+                        key=lambda kv: max(kv[1]["skew"],
+                                           1 / kv[1]["skew"]
+                                           if kv[1]["skew"] else 1))
+            print(f"model deviation: {rec.kind}[{rec.codec}] seq="
+                  f"{rec.seq} stage {worst[0]} skew "
+                  f"{worst[1]['skew']:.2f}x vs modelled {args.device}")
+    if modelled:
+        print(f"perf model ({args.device}): {modelled} record(s) "
+              f"checked, {flagged} flagged for stage-share skew")
+
+    if args.check:
+        # wall-time regression sentinel vs the committed perf trajectory
+        # (warn-only by design; repro doctor --check is the CI gate)
+        import json
+        from repro.telemetry import sentinel
+        try:
+            with open(args.bench) as f:
+                current = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"sentinel: cannot read {args.bench}: {exc}")
+            return 0
+        baseline = sentinel.load_baseline(args.base_ref)
+        if baseline is None:
+            print(f"sentinel: no committed BENCH_pipeline.json at "
+                  f"{args.base_ref}; nothing to compare")
+            return 0
+        findings = sentinel.check(current, baseline)
+        for line in sentinel.format_findings(findings,
+                                             github=args.github):
+            print(line)
+    return 0
+
+
+def _cmd_doctor(args) -> int:
+    from repro.telemetry import caches, doctor, recorder
+
+    env = doctor.environment_report()
+    print("environment: " + "  ".join(f"{k}={v}"
+                                      for k, v in env.items()))
+    snap = caches.snapshot()
+    print("caches (this process):")
+    for name, entry in snap.items():
+        print(f"  {name}: {entry['hits']}h/{entry['misses']}m/"
+              f"{entry['evictions']}e size={entry['size']}/"
+              f"{entry['limit']} {entry['size_bytes']}B")
+
+    if args.ledger:
+        try:
+            records = recorder.read_ledger(args.ledger)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read ledger {args.ledger!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        records = recorder.records()
+    threshold = (doctor.WARM_HIT_THRESHOLD
+                 if args.warm_hit_threshold is None
+                 else args.warm_hit_threshold)
+    diag = doctor.diagnose(records, warm_hit_threshold=threshold)
+    print(diag.format())
+    if args.check and not diag.healthy:
+        return 1
+    return 0
+
+
 def _cmd_list(args) -> int:
     print("compressors:", ", ".join(available()))
     print("datasets:")
@@ -263,6 +388,40 @@ def main(argv=None) -> int:
                    help="decompress fields across N worker processes "
                         "('auto' = all cores; default serial)")
     p.set_defaults(func=_cmd_unpack)
+
+    p = sub.add_parser("stats", help="aggregate a flight-recorder run "
+                                     "ledger (percentiles, CR, model "
+                                     "cross-check)")
+    p.add_argument("ledger", help="JSONL run ledger "
+                                  "(repro.telemetry.recorder ledger)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the aggregation as JSON")
+    p.add_argument("--device", default="a100",
+                   help="modelled device for the throughput cross-check")
+    p.add_argument("--check", action="store_true",
+                   help="also run the warn-only regression sentinel "
+                        "against the committed BENCH_pipeline.json")
+    p.add_argument("--bench", default="BENCH_pipeline.json",
+                   help="fresh perf trajectory for --check")
+    p.add_argument("--base-ref", default="HEAD",
+                   help="git ref holding the baseline trajectory")
+    p.add_argument("--github", action="store_true",
+                   help="render sentinel findings as ::warning:: "
+                        "annotations")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("doctor", help="diagnose ledger + environment + "
+                                      "cache health")
+    p.add_argument("ledger", nargs="?", default=None,
+                   help="JSONL run ledger (default: this process's "
+                        "in-memory ring)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero when a structural anomaly is "
+                        "found (the CI gate)")
+    p.add_argument("--warm-hit-threshold", type=float,
+                   default=None,
+                   help="minimum acceptable warm cache hit ratio")
+    p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser("list", help="list codecs and datasets")
     p.set_defaults(func=_cmd_list)

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import caches
 from repro.common.errors import DataError
 from repro.core.ginterp.splines import (CUBIC_NAK, CUBIC_NAT,
                                         SPLINE_WEIGHTS)
@@ -41,7 +42,7 @@ _CACHE_SIZE = 32
 _cache_lock = threading.Lock()
 #: digest -> (value_range, profiled (ndim, 2) error matrix)
 _profile_cache: OrderedDict[bytes, tuple[float, np.ndarray]] = OrderedDict()
-_cache_stats = {"hits": 0, "misses": 0}
+_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def clear_autotune_cache() -> None:
@@ -50,12 +51,20 @@ def clear_autotune_cache() -> None:
         _profile_cache.clear()
         _cache_stats["hits"] = 0
         _cache_stats["misses"] = 0
+        _cache_stats["evictions"] = 0
 
 
 def autotune_cache_stats() -> dict[str, int]:
-    """Snapshot of the profiling cache hit/miss counters."""
+    """Snapshot of the profiling cache hit/miss counters and occupancy."""
     with _cache_lock:
-        return dict(_cache_stats)
+        # entry payload: SHA-1 key + value-range float + error matrix
+        size_bytes = sum(20 + 8 + errors.nbytes
+                         for _rng, errors in _profile_cache.values())
+        return {**_cache_stats, "size": len(_profile_cache),
+                "limit": _CACHE_SIZE, "size_bytes": size_bytes}
+
+
+caches.register("ginterp.autotune", autotune_cache_stats)
 
 
 def _content_key(data: np.ndarray, samples: int) -> bytes:
@@ -184,6 +193,7 @@ def autotune(data: np.ndarray, abs_eb: float,
             _profile_cache.move_to_end(key)
             while len(_profile_cache) > _CACHE_SIZE:
                 _profile_cache.popitem(last=False)
+                _cache_stats["evictions"] += 1
     rel_eb = abs_eb / rng if rng > 0 else 1.0
     alpha = alpha_from_eb(rel_eb)
     variants = tuple(CUBIC_NAK if errors[ax, 0] <= errors[ax, 1]

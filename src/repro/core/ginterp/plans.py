@@ -61,6 +61,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import caches
 from repro.common.errors import ConfigError
 from repro.core.ginterp.splines import NEIGHBOR_OFFSETS, SPLINE_WEIGHTS
 
@@ -427,7 +428,7 @@ _DEFAULT_CACHE_LIMIT = 16
 
 _cache_lock = threading.Lock()
 _plan_cache: OrderedDict[tuple, PassPlan] = OrderedDict()
-_cache_stats = {"hits": 0, "misses": 0}
+_cache_stats = {"hits": 0, "misses": 0, "evictions": 0}
 _cache_limit = _DEFAULT_CACHE_LIMIT
 
 
@@ -452,6 +453,7 @@ def get_plan(shape: tuple[int, ...], spec) -> PassPlan:
         _plan_cache.move_to_end(key)
         while len(_plan_cache) > _cache_limit:
             _plan_cache.popitem(last=False)
+            _cache_stats["evictions"] += 1
     return plan
 
 
@@ -459,7 +461,9 @@ def plan_cache_stats() -> dict[str, int]:
     """Snapshot of the plan cache hit/miss counters and occupancy."""
     with _cache_lock:
         return {**_cache_stats, "size": len(_plan_cache),
-                "limit": _cache_limit}
+                "limit": _cache_limit,
+                "size_bytes": sum(p.nbytes
+                                  for p in _plan_cache.values())}
 
 
 def clear_plan_cache() -> None:
@@ -468,6 +472,7 @@ def clear_plan_cache() -> None:
         _plan_cache.clear()
         _cache_stats["hits"] = 0
         _cache_stats["misses"] = 0
+        _cache_stats["evictions"] = 0
 
 
 def set_plan_cache_limit(limit: int) -> int:
@@ -480,4 +485,8 @@ def set_plan_cache_limit(limit: int) -> int:
         _cache_limit = int(limit)
         while len(_plan_cache) > _cache_limit:
             _plan_cache.popitem(last=False)
+            _cache_stats["evictions"] += 1
     return old
+
+
+caches.register("ginterp.plan", plan_cache_stats)

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import quality, recorder
 
 from repro.common.arrayutils import (crop_to_shape, pad_to_grid,
                                      validate_field, value_range)
@@ -210,10 +211,11 @@ class CuSZi:
     def compress_detailed(self, data: np.ndarray
                           ) -> tuple[bytes, CompressionStats]:
         """Compress and report byte-level accounting."""
-        with telemetry.span("compress", codec=self.name) as root:
-            return self._compress_traced(data, root)
+        with recorder.capture("compress", codec=self.name) as cap, \
+                telemetry.span("compress", codec=self.name) as root:
+            return self._compress_traced(data, root, cap)
 
-    def _compress_traced(self, data: np.ndarray, root
+    def _compress_traced(self, data: np.ndarray, root, cap
                          ) -> tuple[bytes, CompressionStats]:
         data = validate_field(data)
         abs_eb = resolve_eb(data, self.eb, self.mode)
@@ -221,20 +223,21 @@ class CuSZi:
 
         stride, _window = self._geometry(data.ndim)
         padded = pad_to_grid(data, stride) if self.pad else data
-        with telemetry.span("tune", enabled=self.tune):
+        with telemetry.span("tune", enabled=self.tune), cap.stage("tune"):
             spec, tuning = self._build_spec(padded, abs_eb)
         # resolve the compiled pass plan up front: repeated same-shape
         # compressions (and the decompress replay) hit the plan LRU
-        with telemetry.span("plan"):
+        with telemetry.span("plan"), cap.stage("plan"):
             plan = get_plan(padded.shape, spec.resolved(padded.ndim))
-        with telemetry.span("predict", bytes_in=data.nbytes) as sp:
+        with telemetry.span("predict", bytes_in=data.nbytes) as sp, \
+                cap.stage("predict"):
             result = interp_compress(padded, spec, abs_eb, quantizer,
                                      plan=plan)
             sp.set(segment="anchors",
                    segment_nbytes=result.anchors.nbytes,
                    codes_nbytes=result.codes.nbytes,
                    n_passes=len(result.pass_sizes))
-        with telemetry.span("quantize") as sp:
+        with telemetry.span("quantize") as sp, cap.stage("quantize"):
             # quantization proper is fused into the predict traversal
             # (as on the GPU — see the ginterp.quantize child spans);
             # this sibling accounts for its side channel, the
@@ -245,7 +248,8 @@ class CuSZi:
                    n_outliers=int(result.outliers.size))
             telemetry.incr("outliers", int(result.outliers.size))
         with telemetry.span("huffman",
-                            bytes_in=result.codes.nbytes) as sp:
+                            bytes_in=result.codes.nbytes) as sp, \
+                cap.stage("huffman"):
             if self.codebook == "static":
                 # prebuilt two-sided-geometric codebook (§VI-A, ref
                 # [37]): skips the histogram + tree build at a small
@@ -276,16 +280,34 @@ class CuSZi:
             "n_outliers": int(result.outliers.size),
             "spec": spec.to_meta(),
         }
-        with telemetry.span("container") as sp:
+        with telemetry.span("container") as sp, cap.stage("container"):
             inner = build_container(self.name, meta, segments)
             sp.set(bytes_out=len(inner))
         with telemetry.span("lossless", codec=self.lossless,
-                            bytes_in=len(inner)) as sp:
+                            bytes_in=len(inner)) as sp, \
+                cap.stage("lossless"):
             blob = wrap_lossless(inner, self.lossless)
             sp.set(bytes_out=len(blob))
         root.set(n_elements=data.size, bytes_in=data.nbytes,
                  compressed_nbytes=len(blob), lossless=self.lossless,
                  abs_eb=abs_eb)
+        cap.set(bytes_in=data.nbytes, bytes_out=len(blob),
+                n_elements=data.size, shape=list(data.shape),
+                eb=self.eb, eb_mode=self.mode, abs_eb=abs_eb,
+                lossless=self.lossless, n_outliers=int(
+                    result.outliers.size))
+        if quality.should_audit():
+            # verify the archive actually decodes within the promised
+            # bound; the internal decode runs ledger-suppressed so the
+            # audit never shows up as a phantom decompress record
+            with cap.stage("quality"), recorder.suppressed():
+                recon = self.decompress(blob)
+                report = quality.audit(
+                    data, recon, abs_eb, codes=result.codes,
+                    pass_levels=[cp.desc.level for cp in plan.passes],
+                    pass_sizes=result.pass_sizes,
+                    n_outliers=int(result.outliers.size))
+            cap.set(quality=report.to_dict())
         stats = CompressionStats(
             n_elements=data.size,
             original_nbytes=data.nbytes,
@@ -303,12 +325,15 @@ class CuSZi:
 
     def decompress(self, blob: bytes) -> np.ndarray:
         """Reconstruct the field from a cuSZ-i blob."""
-        with telemetry.span("decompress", codec=self.name,
-                            compressed_nbytes=len(blob)) as root:
-            with telemetry.span("lossless", bytes_in=len(blob)) as sp:
+        with recorder.capture("decompress", codec=self.name) as cap, \
+                telemetry.span("decompress", codec=self.name,
+                               compressed_nbytes=len(blob)) as root:
+            with telemetry.span("lossless", bytes_in=len(blob)) as sp, \
+                    cap.stage("lossless"):
                 inner = unwrap_lossless(blob)
                 sp.set(bytes_out=len(inner))
-            with telemetry.span("container", bytes_in=len(inner)):
+            with telemetry.span("container", bytes_in=len(inner)), \
+                    cap.stage("container"):
                 codec, meta, segments = parse_container(inner)
             if codec != self.name:
                 raise CodecError(
@@ -322,7 +347,8 @@ class CuSZi:
             quantizer = LinearQuantizer(radius, value_dtype=dtype)
 
             with telemetry.span(
-                    "huffman", bytes_in=len(segments["huffman"])) as sp:
+                    "huffman", bytes_in=len(segments["huffman"])) as sp, \
+                    cap.stage("huffman"):
                 stream = HuffmanStream.from_bytes(segments["huffman"])
                 codes = huffman_decode(stream)
                 sp.set(bytes_out=codes.nbytes)
@@ -333,10 +359,10 @@ class CuSZi:
                                  for n in padded_shape)
             anchors = np.frombuffer(segments["anchors"],
                                     dtype=dtype).reshape(anchor_shape)
-            with telemetry.span("plan"):
+            with telemetry.span("plan"), cap.stage("plan"):
                 plan = get_plan(padded_shape,
                                 spec.resolved(len(padded_shape)))
-            with telemetry.span("predict") as sp:
+            with telemetry.span("predict") as sp, cap.stage("predict"):
                 work = interp_decompress(padded_shape, spec, abs_eb,
                                          codes, outliers, anchors,
                                          quantizer, plan=plan)
@@ -346,4 +372,7 @@ class CuSZi:
                         if len(blob) > 5 else "none")
             root.set(n_elements=out.size, bytes_out=out.nbytes,
                      lossless=lossless, abs_eb=abs_eb)
+            cap.set(bytes_in=len(blob), bytes_out=out.nbytes,
+                    n_elements=out.size, shape=list(out.shape),
+                    abs_eb=abs_eb, lossless=lossless)
             return out

@@ -22,6 +22,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import caches
 from repro.common.errors import CodecError
 from repro.common.scan import concat_ranges
 
@@ -41,7 +42,8 @@ _codebook_cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
 _table_cache: OrderedDict[bytes, tuple[np.ndarray, np.ndarray]] = \
     OrderedDict()
 _cache_stats = {"codebook_hits": 0, "codebook_misses": 0,
-                "table_hits": 0, "table_misses": 0}
+                "codebook_evictions": 0,
+                "table_hits": 0, "table_misses": 0, "table_evictions": 0}
 
 
 def clear_codebook_caches() -> None:
@@ -72,12 +74,34 @@ def _cache_get(cache: OrderedDict, key: bytes, kind: str):
         return None
 
 
-def _cache_put(cache: OrderedDict, key: bytes, value) -> None:
+def _cache_put(cache: OrderedDict, key: bytes, value, kind: str) -> None:
     with _cache_lock:
         cache[key] = value
         cache.move_to_end(key)
         while len(cache) > _CACHE_SIZE:
             cache.popitem(last=False)
+            _cache_stats[f"{kind}_evictions"] += 1
+
+
+def _registry_stats(cache: OrderedDict, kind: str,
+                    nbytes) -> dict[str, int]:
+    with _cache_lock:
+        return {"hits": _cache_stats[f"{kind}_hits"],
+                "misses": _cache_stats[f"{kind}_misses"],
+                "evictions": _cache_stats[f"{kind}_evictions"],
+                "size": len(cache), "limit": _CACHE_SIZE,
+                "size_bytes": sum(len(k) + nbytes(v)
+                                  for k, v in cache.items())}
+
+
+caches.register(
+    "huffman.codebook",
+    lambda: _registry_stats(_codebook_cache, "codebook",
+                            lambda v: v.nbytes))
+caches.register(
+    "huffman.table",
+    lambda: _registry_stats(_table_cache, "table",
+                            lambda v: v[0].nbytes + v[1].nbytes))
 
 
 def _length_key(lengths: np.ndarray) -> bytes:
@@ -103,7 +127,7 @@ def canonical_codebook(lengths: np.ndarray) -> np.ndarray:
         return cached
     codes = _canonical_codebook_uncached(lengths)
     codes.setflags(write=False)
-    _cache_put(_codebook_cache, key, codes)
+    _cache_put(_codebook_cache, key, codes, "codebook")
     return codes
 
 
@@ -157,6 +181,6 @@ def build_decode_table(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         lens[idx] = np.repeat(lengths[used].astype(np.uint8), counts)
     symbols.setflags(write=False)
     lens.setflags(write=False)
-    _cache_put(_table_cache, key, (symbols, lens))
+    _cache_put(_table_cache, key, (symbols, lens), "table")
     return symbols, lens
 

@@ -35,11 +35,14 @@ above never observe the orchestration.
 from __future__ import annotations
 
 import struct
+import threading
+import weakref
 import zlib
 
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import caches, recorder
 from repro.common.bitpack import bit_length
 from repro.common.errors import ConfigError, CorruptStreamError
 from repro.lossless.gle import (MIN_RUN, PACK_BLOCK, _as_bytes_view,
@@ -48,6 +51,7 @@ from repro.lossless.gle import (MIN_RUN, PACK_BLOCK, _as_bytes_view,
 __all__ = ["OrchestratorCodec", "orchestrate_compress",
            "orchestrate_decompress", "split_streams", "stream_stats",
            "choose_backend", "backend_names", "StreamStats",
+           "plan_cache_stats", "never_expand_trips",
            "SAMPLE_CAP", "PARALLEL_MIN_BYTES", "PARALLEL_BLOCK"]
 
 _MAGIC = b"ORC1"
@@ -89,6 +93,63 @@ _PACK_EST_BLOCK = PACK_BLOCK
 #: a backend must project at most this size fraction to beat "store" —
 #: a projected saving under ~5% is not worth an encode pass
 _STORE_BIAS = 0.95
+
+
+# -- introspection (unified cache registry + doctor counters) ---------------
+
+_stats_lock = threading.Lock()
+#: header-fingerprint plan-cache counters, aggregated across every codec
+#: instance (the cache dicts themselves stay per-instance)
+_plan_stats = {"hits": 0, "misses": 0, "evictions": 0}
+#: times the never-expand guard replaced a mispredicted backend by store
+_never_expand = 0
+#: live OrchestratorCodec instances, for plan-cache occupancy accounting
+_live_codecs: "weakref.WeakSet[OrchestratorCodec]" = weakref.WeakSet()
+
+
+_PLAN_EVENTS = {"hits": "hit", "misses": "miss", "evictions": "eviction"}
+
+
+def _note_plan(event: str) -> None:
+    with _stats_lock:
+        _plan_stats[event] += 1
+    telemetry.incr("lossless.plan_cache." + _PLAN_EVENTS[event])
+
+
+def plan_cache_stats() -> dict[str, int]:
+    """Aggregate hit/miss/eviction counters and occupancy of every live
+    instance's header-fingerprint plan cache."""
+    with _stats_lock:
+        stats = dict(_plan_stats)
+    size = size_bytes = 0
+    for codec in list(_live_codecs):
+        pc = codec._plan_cache
+        if not pc:
+            continue
+        size += len(pc)
+        for probes, spans, plan, names in pc.values():
+            size_bytes += (sum(len(pb) for _off, pb in probes)
+                           + 16 * len(spans)
+                           + sum(len(nm) + 8 for nm in names))
+    return {**stats, "size": size, "limit": _PLAN_CACHE_MAX,
+            "size_bytes": size_bytes}
+
+
+def never_expand_trips() -> int:
+    """How often the never-expand guard overrode a mispredicted backend."""
+    with _stats_lock:
+        return _never_expand
+
+
+def _note_never_expand() -> None:
+    global _never_expand
+    with _stats_lock:
+        _never_expand += 1
+    telemetry.incr("lossless.never_expand")
+    recorder.count("lossless.never_expand")
+
+
+caches.register("lossless.orchestrator_plan", plan_cache_stats)
 
 
 # -- backend registry -------------------------------------------------------
@@ -448,6 +509,8 @@ def orchestrate_compress(data, *, profile: str = "balanced",
             else:
                 plan = names = None
     cached = plan is not None
+    if plan_cache is not None:
+        _note_plan("hits" if cached else "misses")
     if not cached:
         streams = split_streams(view)
         if len(view) >= 10 and view[:4] == _CONTAINER_MAGIC \
@@ -482,10 +545,12 @@ def orchestrate_compress(data, *, profile: str = "balanced",
                     pos += len(sv)
                 if len(plan_cache) >= _PLAN_CACHE_MAX:
                     plan_cache.pop(next(iter(plan_cache)))
+                    _note_plan("evictions")
                 plan_cache[key] = (probes, spans, plan, names)
         zlevel = _ZLIB_LEVEL[profile]
         table: list[bytes] = []
         payloads = []
+        used: list[str] = []
         for i, (name, sv) in enumerate(streams):
             backend = plan[i]
             # per-segment spans ride only on the sampling pass; the warm
@@ -505,18 +570,24 @@ def orchestrate_compress(data, *, profile: str = "balanced",
             if len(enc) >= len(sv) and backend != "store":
                 # the model mispredicted; never ship an expansion
                 backend, bid, enc = "store", 0, sv
+                _note_never_expand()
                 if sp is not None:
                     sp.set(backend="store")
             if cm is not None:
                 sp.set(bytes_out=len(enc))
                 cm.__exit__(None, None, None)
             telemetry.incr(f"lossless.backend.{backend}")
+            used.append(backend)
             table.append(names[i] + _STREAM_HDR.pack(bid, len(enc)))
             payloads.append(enc)
         out = b"".join(
             [_FRAME_HDR.pack(_MAGIC, _VERSION, flags, crc, len(streams))]
             + table + payloads)
         root.set(bytes_out=len(out))
+    # flight-recorder context propagation: the enclosing pipeline run (if
+    # any) records which per-segment plan this lossless pass chose
+    recorder.annotate(lossless_profile=profile, lossless_plan=used,
+                      lossless_plan_cached=cached)
     return out
 
 
@@ -634,6 +705,7 @@ class OrchestratorCodec:
         self.profile = profile
         self.workers = workers
         self._plan_cache: dict | None = {} if plan_cache else None
+        _live_codecs.add(self)
 
     def compress_bytes(self, data) -> bytes:
         return orchestrate_compress(data, profile=self.profile,

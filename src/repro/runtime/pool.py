@@ -43,6 +43,7 @@ from concurrent.futures.process import BrokenProcessPool
 import numpy as np
 
 from repro import telemetry
+from repro.telemetry import recorder
 from repro.common.errors import ConfigError
 from repro.registry import decompress_any, get_compressor
 from repro.streaming import SlabWriter, SlabReader, compress_slabs, \
@@ -50,7 +51,8 @@ from repro.streaming import SlabWriter, SlabReader, compress_slabs, \
 
 __all__ = ["resolve_workers", "parallel_compress_slabs",
            "parallel_decompress_slabs", "map_compress", "map_decompress",
-           "run_batch", "shutdown_pools",
+           "run_batch", "shutdown_pools", "serial_fallbacks",
+           "reset_serial_fallbacks",
            "PARALLEL_MIN_ENCODE_BYTES", "PARALLEL_MIN_DECODE_BYTES"]
 
 #: fields smaller than this (raw bytes) compress serially even when a
@@ -63,6 +65,35 @@ PARALLEL_MIN_ENCODE_BYTES = 8 * 1024 * 1024
 #: point sits far above tiny benchmark streams (the 64^3 Nyx field's
 #: ~50 KiB stream decoded 5x *slower* on a forced pool).
 PARALLEL_MIN_DECODE_BYTES = 2 * 1024 * 1024
+
+
+# -- serial-fallback accounting ---------------------------------------------
+
+_fallback_lock = threading.Lock()
+#: why a pooled request ran serially: below the IPC break-even size
+#: floor (expected, tunable) vs a pool that could not be (re)spawned
+#: (an environment problem ``repro doctor`` should flag)
+_fallback_counts = {"size_floor": 0, "spawn_failure": 0}
+
+
+def serial_fallbacks() -> dict[str, int]:
+    """Counts of pooled requests that degraded to the serial path."""
+    with _fallback_lock:
+        return dict(_fallback_counts)
+
+
+def reset_serial_fallbacks() -> None:
+    with _fallback_lock:
+        for k in _fallback_counts:
+            _fallback_counts[k] = 0
+
+
+def _note_fallback(reason: str, op: str) -> None:
+    with _fallback_lock:
+        _fallback_counts[reason] += 1
+    telemetry.incr(f"runtime.serial_fallback.{reason}")
+    recorder.count(f"runtime.serial_fallback.{reason}")
+    recorder.annotate(serial_fallback=reason, serial_fallback_op=op)
 
 
 # -- worker-count knob ------------------------------------------------------
@@ -155,9 +186,27 @@ def _merge_worker_trace(results: list, offset_s: float) -> None:
     """Graft per-item worker spans back into the parent trace."""
     if not telemetry.enabled():
         return
-    for _, spans, pid in results:
+    for _, spans, pid, _aux in results:
         if spans:
             telemetry.merge_spans(spans, offset_s=offset_s, worker_pid=pid)
+
+
+def _merge_worker_aux(cap, results: list) -> None:
+    """Fold each worker task's cache/memory aux into the parent's
+    flight-recorder capture (worker rings die with the worker; the aux
+    dict is the part that must survive the process boundary)."""
+    for _res, _spans, _pid, aux in results:
+        cap.merge_worker(aux)
+
+
+def _worker_baseline():
+    """Cache-counter baseline at worker-task start (None when the
+    recorder is opted out via ``REPRO_FLIGHT_RECORDER=0``)."""
+    return recorder.worker_baseline() if recorder.enabled() else None
+
+
+def _worker_aux(baseline):
+    return recorder.worker_aux(baseline) if recorder.enabled() else None
 
 
 def _trace_offset() -> float:
@@ -189,6 +238,7 @@ def _compress_slab_task(payload):
     each worker reuse its warm codec caches across its whole share.
     """
     start, slabs, codec, eb, kwargs, trace = payload
+    base = _worker_baseline()
     comp = get_compressor(codec, eb=eb, mode="abs", **kwargs)
     if trace:
         with telemetry.recording() as reg:
@@ -199,13 +249,15 @@ def _compress_slab_task(payload):
                     blob = comp.compress(slab)
                     sp.set(bytes_out=len(blob))
                 blobs.append(blob)
-        return blobs, reg.spans, os.getpid()
+        return blobs, reg.spans, os.getpid(), _worker_aux(base)
     telemetry.disable()
-    return [comp.compress(slab) for slab in slabs], None, os.getpid()
+    return [comp.compress(slab) for slab in slabs], None, os.getpid(), \
+        _worker_aux(base)
 
 
 def _decompress_slab_task(payload):
     start, blobs, trace = payload
+    base = _worker_baseline()
     if trace:
         with telemetry.recording() as reg:
             out = []
@@ -215,35 +267,39 @@ def _decompress_slab_task(payload):
                     arr = decompress_any(blob)
                     sp.set(bytes_out=arr.nbytes)
                 out.append(arr)
-        return out, reg.spans, os.getpid()
+        return out, reg.spans, os.getpid(), _worker_aux(base)
     telemetry.disable()
-    return [decompress_any(blob) for blob in blobs], None, os.getpid()
+    return [decompress_any(blob) for blob in blobs], None, os.getpid(), \
+        _worker_aux(base)
 
 
 def _compress_field_task(payload):
     index, data, codec, kwargs, trace = payload
+    base = _worker_baseline()
     if trace:
         with telemetry.recording() as reg:
             with telemetry.span("runtime.field", index=index, codec=codec,
                                 bytes_in=data.nbytes) as sp:
                 blob = get_compressor(codec, **kwargs).compress(data)
                 sp.set(bytes_out=len(blob))
-        return blob, reg.spans, os.getpid()
+        return blob, reg.spans, os.getpid(), _worker_aux(base)
     telemetry.disable()
-    return get_compressor(codec, **kwargs).compress(data), None, os.getpid()
+    return get_compressor(codec, **kwargs).compress(data), None, \
+        os.getpid(), _worker_aux(base)
 
 
 def _decompress_field_task(payload):
     index, blob, trace = payload
+    base = _worker_baseline()
     if trace:
         with telemetry.recording() as reg:
             with telemetry.span("runtime.field", index=index,
                                 bytes_in=len(blob)) as sp:
                 out = decompress_any(blob)
                 sp.set(bytes_out=out.nbytes)
-        return out, reg.spans, os.getpid()
+        return out, reg.spans, os.getpid(), _worker_aux(base)
     telemetry.disable()
-    return decompress_any(blob), None, os.getpid()
+    return decompress_any(blob), None, os.getpid(), _worker_aux(base)
 
 
 # -- parallel slab runtime --------------------------------------------------
@@ -266,6 +322,18 @@ def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
     if min_parallel_bytes is None:
         min_parallel_bytes = PARALLEL_MIN_ENCODE_BYTES
     if workers <= 1 or data.nbytes < min_parallel_bytes:
+        if workers > 1:
+            # a pooled request degraded to serial is still a run the
+            # ledger should see — open the capture so the fallback
+            # counter/annotation land in a record
+            with recorder.capture("runtime.compress_slabs",
+                                  workers=workers,
+                                  bytes_in=data.nbytes) as cap:
+                _note_fallback("size_floor", "compress_slabs")
+                stream = compress_slabs(data, slab_planes,
+                                        **writer_kwargs)
+                cap.set(bytes_out=len(stream))
+            return stream
         return compress_slabs(data, slab_planes, **writer_kwargs)
     if slab_planes < 1:
         raise ConfigError("slab_planes must be >= 1")
@@ -280,17 +348,25 @@ def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
     if not slabs:
         raise ConfigError("no slabs appended")
     trace = telemetry.enabled()
-    with telemetry.span("runtime.compress_slabs", n_slabs=len(slabs),
-                        workers=workers, bytes_in=data.nbytes) as sp:
+    with recorder.capture("runtime.compress_slabs", workers=workers,
+                          n_slabs=len(slabs)) as cap, \
+            telemetry.span("runtime.compress_slabs", n_slabs=len(slabs),
+                           workers=workers, bytes_in=data.nbytes) as sp:
         offset = _trace_offset()
         payloads = [(s, slabs[s:e], writer.codec, writer.eb,
                      writer.codec_kwargs, trace)
                     for s, e in _chunk_bounds(len(slabs), workers)]
-        results = _run_batch(_compress_slab_task, payloads, workers)
+        try:
+            results = _run_batch(_compress_slab_task, payloads, workers)
+        except (BrokenProcessPool, OSError):
+            _note_fallback("spawn_failure", "compress_slabs")
+            return compress_slabs(data, slab_planes, **writer_kwargs)
         _merge_worker_trace(results, offset)
-        stream = frame_slabs([blob for blobs, _, _ in results
+        _merge_worker_aux(cap, results)
+        stream = frame_slabs([blob for blobs, _, _, _ in results
                               for blob in blobs])
         sp.set(bytes_out=len(stream))
+        cap.set(bytes_in=data.nbytes, bytes_out=len(stream))
     return stream
 
 
@@ -309,20 +385,36 @@ def parallel_decompress_slabs(stream: bytes, *,
     if min_parallel_bytes is None:
         min_parallel_bytes = PARALLEL_MIN_DECODE_BYTES
     if workers <= 1 or len(stream) < min_parallel_bytes:
+        if workers > 1:
+            with recorder.capture("runtime.decompress_slabs",
+                                  workers=workers,
+                                  bytes_in=len(stream)) as cap:
+                _note_fallback("size_floor", "decompress_slabs")
+                out = decompress_slabs(stream)
+                cap.set(bytes_out=out.nbytes)
+            return out
         return decompress_slabs(stream)
     reader = SlabReader(stream)
     trace = telemetry.enabled()
-    with telemetry.span("runtime.decompress_slabs", n_slabs=len(reader),
-                        workers=workers, bytes_in=len(stream)) as sp:
+    with recorder.capture("runtime.decompress_slabs", workers=workers,
+                          n_slabs=len(reader)) as cap, \
+            telemetry.span("runtime.decompress_slabs", n_slabs=len(reader),
+                           workers=workers, bytes_in=len(stream)) as sp:
         offset = _trace_offset()
         blobs = [reader.slab_bytes(i) for i in range(len(reader))]
         payloads = [(s, blobs[s:e], trace)
                     for s, e in _chunk_bounds(len(blobs), workers)]
-        results = _run_batch(_decompress_slab_task, payloads, workers)
+        try:
+            results = _run_batch(_decompress_slab_task, payloads, workers)
+        except (BrokenProcessPool, OSError):
+            _note_fallback("spawn_failure", "decompress_slabs")
+            return decompress_slabs(stream)
         _merge_worker_trace(results, offset)
-        out = np.concatenate([arr for arrs, _, _ in results
+        _merge_worker_aux(cap, results)
+        out = np.concatenate([arr for arrs, _, _, _ in results
                               for arr in arrs], axis=0)
         sp.set(bytes_out=out.nbytes)
+        cap.set(bytes_in=len(stream), bytes_out=out.nbytes)
     return out
 
 
@@ -350,29 +442,47 @@ def map_compress(fields, codec: str = "cuszi", *,
         item_codec = overrides.pop("codec", codec)
         configs.append((item_codec, {**codec_kwargs, **overrides}))
     workers = resolve_workers(workers)
-    with telemetry.span("runtime.map_compress", n_fields=len(fields),
-                        workers=workers) as root:
+
+    def _serial() -> list[bytes]:
+        blobs = []
+        for i, (data, (item_codec, kwargs)) in enumerate(
+                zip(fields, configs)):
+            with telemetry.span("runtime.field", index=i,
+                                codec=item_codec,
+                                bytes_in=data.nbytes) as sp:
+                blob = get_compressor(item_codec, **kwargs
+                                      ).compress(data)
+                sp.set(bytes_out=len(blob))
+            blobs.append(blob)
+        return blobs
+
+    with recorder.capture("runtime.map_compress", workers=workers,
+                          n_fields=len(fields)) as cap, \
+            telemetry.span("runtime.map_compress", n_fields=len(fields),
+                           workers=workers) as root:
         if workers <= 1:
-            blobs = []
-            for i, (data, (item_codec, kwargs)) in enumerate(
-                    zip(fields, configs)):
-                with telemetry.span("runtime.field", index=i,
-                                    codec=item_codec,
-                                    bytes_in=data.nbytes) as sp:
-                    blob = get_compressor(item_codec, **kwargs
-                                          ).compress(data)
-                    sp.set(bytes_out=len(blob))
-                blobs.append(blob)
+            blobs = _serial()
         else:
             trace = telemetry.enabled()
             offset = _trace_offset()
             payloads = [(i, data, item_codec, kwargs, trace)
                         for i, (data, (item_codec, kwargs))
                         in enumerate(zip(fields, configs))]
-            results = _run_batch(_compress_field_task, payloads, workers)
-            _merge_worker_trace(results, offset)
-            blobs = [blob for blob, _, _ in results]
+            try:
+                results = _run_batch(_compress_field_task, payloads,
+                                     workers)
+            except (BrokenProcessPool, OSError):
+                _note_fallback("spawn_failure", "map_compress")
+                results = None
+            if results is None:
+                blobs = _serial()
+            else:
+                _merge_worker_trace(results, offset)
+                _merge_worker_aux(cap, results)
+                blobs = [blob for blob, _, _, _ in results]
         root.set(bytes_out=sum(len(b) for b in blobs))
+        cap.set(bytes_in=sum(d.nbytes for d in fields),
+                bytes_out=sum(len(b) for b in blobs))
     return blobs
 
 
@@ -381,20 +491,39 @@ def map_decompress(blobs, *, workers: int | str | None = None
     """Decompress a batch of blobs, returning arrays in input order."""
     blobs = list(blobs)
     workers = resolve_workers(workers)
-    with telemetry.span("runtime.map_decompress", n_fields=len(blobs),
-                        workers=workers):
+
+    def _serial() -> list[np.ndarray]:
+        out = []
+        for i, blob in enumerate(blobs):
+            with telemetry.span("runtime.field", index=i,
+                                bytes_in=len(blob)) as sp:
+                arr = decompress_any(blob)
+                sp.set(bytes_out=arr.nbytes)
+            out.append(arr)
+        return out
+
+    with recorder.capture("runtime.map_decompress", workers=workers,
+                          n_fields=len(blobs)) as cap, \
+            telemetry.span("runtime.map_decompress", n_fields=len(blobs),
+                           workers=workers):
+        cap.set(bytes_in=sum(len(b) for b in blobs))
         if workers <= 1:
-            out = []
-            for i, blob in enumerate(blobs):
-                with telemetry.span("runtime.field", index=i,
-                                    bytes_in=len(blob)) as sp:
-                    arr = decompress_any(blob)
-                    sp.set(bytes_out=arr.nbytes)
-                out.append(arr)
-            return out
-        trace = telemetry.enabled()
-        offset = _trace_offset()
-        payloads = [(i, blob, trace) for i, blob in enumerate(blobs)]
-        results = _run_batch(_decompress_field_task, payloads, workers)
-        _merge_worker_trace(results, offset)
-        return [arr for arr, _, _ in results]
+            out = _serial()
+        else:
+            trace = telemetry.enabled()
+            offset = _trace_offset()
+            payloads = [(i, blob, trace) for i, blob in enumerate(blobs)]
+            try:
+                results = _run_batch(_decompress_field_task, payloads,
+                                     workers)
+            except (BrokenProcessPool, OSError):
+                _note_fallback("spawn_failure", "map_decompress")
+                results = None
+            if results is None:
+                out = _serial()
+            else:
+                _merge_worker_trace(results, offset)
+                _merge_worker_aux(cap, results)
+                out = [arr for arr, _, _, _ in results]
+        cap.set(bytes_out=sum(a.nbytes for a in out))
+        return out

@@ -25,6 +25,13 @@ the measured-vs-modelled GPU cross-check is in
 :mod:`repro.telemetry.crosscheck`. See ``docs/OBSERVABILITY.md`` for the
 span taxonomy.
 
+Independent of span tracing, the **flight recorder**
+(:mod:`repro.telemetry.recorder`) keeps an always-on bounded ring of
+per-run records; :mod:`repro.telemetry.caches` is the unified cache
+registry feeding both; :mod:`repro.telemetry.quality` holds the opt-in
+sampled quality auditor and :mod:`repro.telemetry.sentinel` the bench
+regression checks.
+
 Everything here is zero-dependency (stdlib only) and thread-safe: spans
 started on different threads nest independently (thread-local span
 stacks) and land in one shared registry.
@@ -294,3 +301,5 @@ def observe(name: str, value: float) -> None:
 
 
 from repro.telemetry import exporters  # noqa: E402  (re-export convenience)
+from repro.telemetry import caches  # noqa: E402
+from repro.telemetry import recorder  # noqa: E402

@@ -1,0 +1,203 @@
+"""Ledger + environment + cache health diagnosis (``repro doctor``).
+
+The flight recorder (:mod:`repro.telemetry.recorder`) tells you what
+runs happened; the doctor reads a run ledger and says whether the
+*system* looks healthy. It is deliberately structural — it flags states
+that are wrong regardless of machine speed, so unlike the wall-time
+sentinel (:mod:`repro.telemetry.sentinel`, warn-only) its findings can
+gate CI via ``repro doctor --check``:
+
+- **error records** — any run that ended in an exception;
+- **warm-cache hit rate** — per cache, lookups across every record
+  *after* the cache's first active record (the cold fill) should mostly
+  hit; a warm ratio below the threshold means a cache key is broken or
+  thrashing;
+- **never-expand guard trips** — the lossless orchestrator predicted a
+  backend that *expanded* a segment; correctness survives (the guard
+  stores raw) but the predictor is mismodelling;
+- **serial fallbacks** — pooled requests that degraded to the serial
+  path: ``size_floor`` is expected (informational), ``spawn_failure``
+  means worker processes could not be (re)spawned in that environment;
+- **quality audits** — sampled error-bound violations are always
+  anomalies.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+
+from repro.telemetry.recorder import RunRecord
+
+__all__ = ["Check", "Diagnosis", "diagnose", "environment_report",
+           "WARM_HIT_THRESHOLD"]
+
+#: minimum acceptable warm (post-cold-fill) cache hit ratio
+WARM_HIT_THRESHOLD = 0.5
+
+
+@dataclass
+class Check:
+    """One health check outcome."""
+
+    name: str
+    ok: bool
+    detail: str
+    gating: bool = True          # informational checks never fail --check
+
+
+@dataclass
+class Diagnosis:
+    """All checks over one ledger."""
+
+    n_records: int
+    checks: list = field(default_factory=list)
+
+    @property
+    def anomalies(self) -> list:
+        return [c for c in self.checks if c.gating and not c.ok]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.anomalies
+
+    def format(self) -> str:
+        lines = [f"ledger: {self.n_records} run record(s)"]
+        for c in self.checks:
+            mark = "ok  " if c.ok else ("WARN" if not c.gating
+                                        else "FAIL")
+            lines.append(f"  [{mark}] {c.name}: {c.detail}")
+        lines.append("diagnosis: " + ("healthy" if self.healthy else
+                                      f"{len(self.anomalies)} anomaly(ies)"))
+        return "\n".join(lines)
+
+
+def environment_report() -> dict:
+    """The environment facts worth pinning next to a ledger."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover
+        numpy_version = "missing"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+        "flight_recorder": os.environ.get("REPRO_FLIGHT_RECORDER", "1"),
+    }
+
+
+def _warm_cache_ratios(records: list[RunRecord]) -> dict[str, tuple]:
+    """Per cache: (warm_hits, warm_lookups) over every record after the
+    cache's first active one (which pays the cold fill).
+
+    A miss that *inserted* a new entry is a per-key cold fill — a
+    workload over many distinct fields legitimately misses once per
+    field — so insertions (net size growth plus evictions, since every
+    LRU eviction is displaced by an insertion) are subtracted from the
+    warm lookup base. What remains are re-lookups of keys the cache has
+    already seen, which is where a broken key or thrashing shows up.
+    """
+    seen: set[str] = set()
+    warm: dict[str, list[int]] = {}
+    for rec in records:
+        for name, delta in rec.caches.items():
+            lookups = delta.get("lookups", 0)
+            if not lookups:
+                continue
+            if name not in seen:
+                seen.add(name)        # cold fill: exempt
+                continue
+            inserted = (max(0, delta.get("size_growth", 0))
+                        + delta.get("evictions", 0))
+            warm_lookups = max(0, lookups - inserted)
+            if not warm_lookups:
+                continue
+            h, total = warm.get(name, (0, 0))
+            warm[name] = [h + min(delta.get("hits", 0), warm_lookups),
+                          total + warm_lookups]
+    return {name: tuple(v) for name, v in warm.items()}
+
+
+def _counter_total(records: list[RunRecord], name: str) -> float:
+    return sum(rec.counters.get(name, 0) for rec in records)
+
+
+def diagnose(records: list[RunRecord],
+             warm_hit_threshold: float = WARM_HIT_THRESHOLD) -> Diagnosis:
+    """Run every structural health check over a list of run records."""
+    diag = Diagnosis(n_records=len(records))
+    checks = diag.checks
+
+    errors = [r for r in records if r.status != "ok"]
+    checks.append(Check(
+        "run errors", not errors,
+        f"{len(errors)}/{len(records)} record(s) ended in error"
+        + (f" (first: {errors[0].kind} seq={errors[0].seq})" if errors
+           else "")))
+
+    warm = _warm_cache_ratios(records)
+    if warm:
+        bad = {}
+        for name, (hits, lookups) in warm.items():
+            ratio = hits / lookups if lookups else 1.0
+            if ratio < warm_hit_threshold:
+                bad[name] = ratio
+        detail = ", ".join(f"{n}={hits}/{lk}"
+                           for n, (hits, lk) in sorted(warm.items()))
+        if bad:
+            detail += ("; below threshold "
+                       f"{warm_hit_threshold:.0%}: "
+                       + ", ".join(f"{n} ({r:.0%})"
+                                   for n, r in sorted(bad.items())))
+        checks.append(Check("warm cache hit rate", not bad, detail))
+    else:
+        checks.append(Check(
+            "warm cache hit rate", True,
+            "no repeated cache activity to judge", gating=False))
+
+    # a trip is correctness-preserving (the guard stores raw) and small
+    # incompressible segments legitimately mispredict now and then, so
+    # this warns rather than failing --check
+    trips = _counter_total(records, "lossless.never_expand")
+    checks.append(Check(
+        "never-expand guard", trips == 0,
+        f"{trips:g} segment backend misprediction(s) stored raw"
+        if trips else "no trips", gating=False))
+
+    floor = _counter_total(records, "runtime.serial_fallback.size_floor")
+    spawn = _counter_total(records, "runtime.serial_fallback.spawn_failure")
+    checks.append(Check(
+        "serial fallbacks (size floor)", True,
+        f"{floor:g} pooled request(s) below the IPC break-even floor",
+        gating=False))
+    checks.append(Check(
+        "serial fallbacks (pool spawn)", spawn == 0,
+        f"{spawn:g} pooled request(s) degraded because worker processes "
+        f"could not be spawned" if spawn else "none"))
+
+    audited = [r for r in records if "quality" in r.attrs]
+    violations = sum(int(r.attrs["quality"].get("eb_exceeded", 0))
+                     for r in audited)
+    if audited:
+        checks.append(Check(
+            "quality audits", violations == 0,
+            f"{len(audited)} audited run(s), {violations} sampled "
+            f"error-bound violation(s)"))
+    else:
+        checks.append(Check("quality audits", True,
+                            "no audited runs in ledger", gating=False))
+
+    workers = [r for r in records if r.worker.get("tasks")]
+    if workers:
+        peak = max(r.worker.get("peak_rss_kb", 0) for r in workers)
+        checks.append(Check(
+            "worker memory merge", peak > 0,
+            f"{len(workers)} pooled run(s), worker peak RSS "
+            f"{peak / 1024:.1f} MiB", gating=False))
+    return diag

@@ -21,7 +21,7 @@ import math
 from repro.telemetry import Registry, Span
 
 __all__ = ["to_jsonl", "from_jsonl", "render_tree", "to_prometheus",
-           "stage_breakdown"]
+           "stage_breakdown", "cache_metrics_lines"]
 
 _SCHEMA_VERSION = 1
 
@@ -151,24 +151,45 @@ def _sanitize(name: str) -> str:
 
 
 def _histogram_buckets(values: list[float]) -> list[float]:
-    """Log-spaced bucket upper bounds covering the observed range."""
+    """Log-spaced bucket upper bounds covering the observed range.
+
+    Degenerate inputs get a sane spread instead of a single bucket: all
+    observations on one power of ten (the common single-observation
+    case) pad a decade either side, and a float-rounding overshoot of
+    the top edge grows one more decade so the largest observation always
+    lands in a finite bucket.
+    """
     positive = [v for v in values if v > 0]
     if not positive:
         return [1.0]
     lo = math.floor(math.log10(min(positive)))
     hi = math.ceil(math.log10(max(positive)))
+    if hi == lo:
+        lo -= 1
+        hi += 1
+    if max(positive) > 10.0 ** hi:
+        hi += 1
     return [10.0 ** e for e in range(lo, hi + 1)]
 
 
-def to_prometheus(registry: Registry) -> str:
-    """Prometheus exposition-format snapshot of a registry."""
+def to_prometheus(registry: Registry, include_caches: bool = True) -> str:
+    """Prometheus exposition-format snapshot of a registry.
+
+    ``include_caches`` additionally exports the process-wide unified
+    cache gauges (:func:`repro.telemetry.caches.snapshot`) — one labeled
+    series per registered cache, uniform across all cache families.
+    """
     lines: list[str] = []
     for name, value in sorted(registry.counters.items()):
         metric = f"repro_{_sanitize(name)}_total"
+        lines.append(f"# HELP {metric} telemetry counter "
+                     f"{json.dumps(name)}")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {value:g}")
     for name, values in sorted(registry.histograms.items()):
         metric = f"repro_{_sanitize(name)}"
+        lines.append(f"# HELP {metric} telemetry histogram "
+                     f"{json.dumps(name)}")
         lines.append(f"# TYPE {metric} histogram")
         for bound in _histogram_buckets(values):
             count = sum(1 for v in values if v <= bound)
@@ -181,10 +202,49 @@ def to_prometheus(registry: Registry) -> str:
         count, total = agg.get(sp.name, (0, 0.0))
         agg[sp.name] = (count + 1, total + sp.duration_s)
     if agg:
+        lines.append("# HELP repro_span_duration_seconds wall time "
+                     "aggregated per span name")
         lines.append("# TYPE repro_span_duration_seconds summary")
         for name, (count, total) in sorted(agg.items()):
             lines.append(f'repro_span_duration_seconds_sum'
                          f'{{span="{name}"}} {total:g}')
             lines.append(f'repro_span_duration_seconds_count'
                          f'{{span="{name}"}} {count}')
+    if include_caches:
+        lines.extend(cache_metrics_lines())
     return "\n".join(lines) + "\n"
+
+
+#: unified cache fields exported per registered cache: Prometheus type
+#: and one-line help text
+_CACHE_METRICS = (
+    ("hits", "counter", "cache lookups served from the cache"),
+    ("misses", "counter", "cache lookups that fell through"),
+    ("evictions", "counter", "entries dropped to respect the limit"),
+    ("size", "gauge", "entries currently cached"),
+    ("limit", "gauge", "configured entry limit"),
+    ("size_bytes", "gauge", "estimated bytes held by cached entries"),
+    ("hit_ratio", "gauge", "hits / lookups since process start"),
+)
+
+
+def cache_metrics_lines() -> list[str]:
+    """Uniform gauges for every cache in the unified registry.
+
+    Each field becomes one ``repro_cache_<field>`` metric with a
+    ``cache=<name>`` label, so the four cache families from different
+    subsystems (ginterp plan/autotune, Huffman codebook/table, lossless
+    orchestrator plan) chart on one axis.
+    """
+    from repro.telemetry import caches
+    snap = caches.snapshot()
+    lines: list[str] = []
+    for fld, kind, help_text in _CACHE_METRICS:
+        metric = f"repro_cache_{fld}" + ("_total" if kind == "counter"
+                                         else "")
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for name in sorted(snap):
+            val = snap[name].get(fld, 0)
+            lines.append(f'{metric}{{cache="{name}"}} {val:g}')
+    return lines

@@ -1,0 +1,250 @@
+"""Opt-in sampled quality auditing of compression runs.
+
+Compression ratio and wall time regress loudly; *quality* regresses
+silently — an off-by-one in a spline weight or a stale level error
+bound still round-trips, it just reconstructs worse. The auditor is the
+flight-recorder's answer: when enabled, the pipeline decodes its own
+freshly produced archive after every ``every``-th compression (under
+:func:`repro.telemetry.recorder.suppressed`, so the verification run
+never pollutes the ledger) and checks a **stratified sample of blocks**
+of the reconstruction against the original:
+
+- max absolute error vs the promised error bound (and the count of
+  sampled elements exceeding it — must be zero),
+- a PSNR estimate from the sampled mean squared error,
+- the outlier rate (stream-compacted outliers / elements),
+- the ``|error| / eb`` distribution as a seeded histogram,
+- per-level quant-code entropy (bits/symbol), the leading indicator of
+  ratio drift before it shows in bytes.
+
+Sampling is deterministic: blocks are drawn one-per-stratum from a
+seeded generator, so two runs over the same field audit the same
+blocks. Every audited run lands on the enclosing flight-recorder record
+(``attrs["quality"]``) and — when span tracing is on — as
+``quality.*`` histograms in the telemetry registry.
+
+Enable with :func:`enable` or ``REPRO_QUALITY_AUDIT=1`` in the
+environment; the disabled path is one flag check in the pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = ["QualityReport", "enable", "disable", "enabled", "config",
+           "should_audit", "audit", "DEFAULT_BLOCK", "DEFAULT_FRACTION",
+           "ERROR_BIN_EDGES"]
+
+#: sampled block edge length per axis (~4Ki elements per 3D block)
+DEFAULT_BLOCK = 16
+
+#: fraction of blocks audited per sampled run
+DEFAULT_FRACTION = 0.25
+
+#: ``|error| / eb`` histogram bin edges; the last bin counts violations
+ERROR_BIN_EDGES = (0.25, 0.5, 0.75, 1.0)
+
+_lock = threading.Lock()
+_enabled = os.environ.get("REPRO_QUALITY_AUDIT", "").lower() \
+    in ("1", "on", "true", "yes")
+_config = {"every": 1, "fraction": DEFAULT_FRACTION,
+           "block": DEFAULT_BLOCK, "seed": 0}
+_run_counter = 0
+
+
+def enable(every: int = 1, fraction: float = DEFAULT_FRACTION,
+           block: int = DEFAULT_BLOCK, seed: int = 0) -> None:
+    """Turn on auditing of every ``every``-th compression run, sampling
+    ``fraction`` of ``block``-edge blocks with a ``seed``-derived draw."""
+    global _enabled
+    if every < 1:
+        raise ValueError(f"every must be >= 1, got {every}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    with _lock:
+        _config.update(every=int(every), fraction=float(fraction),
+                       block=int(block), seed=int(seed))
+        _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def config() -> dict:
+    """Current auditor configuration (a copy)."""
+    with _lock:
+        return dict(_config)
+
+
+def should_audit() -> bool:
+    """One flag check while disabled; otherwise count compression runs
+    and fire on every ``every``-th one."""
+    global _run_counter
+    if not _enabled:
+        return False
+    with _lock:
+        _run_counter += 1
+        return (_run_counter - 1) % _config["every"] == 0
+
+
+@dataclass
+class QualityReport:
+    """Outcome of one sampled post-compression audit."""
+
+    abs_eb: float
+    n_blocks: int
+    n_sampled_blocks: int
+    n_sampled: int                 # sampled element count
+    max_abs_error: float
+    eb_exceeded: int               # sampled elements past the bound
+    psnr_db: float
+    outlier_rate: float
+    seed: int
+    error_hist: list = field(default_factory=list)   # [[edge, count], ...]
+    level_entropy_bits: dict = field(default_factory=dict)
+
+    @property
+    def eb_satisfied(self) -> bool:
+        return self.eb_exceeded == 0
+
+    def to_dict(self) -> dict:
+        return {"abs_eb": self.abs_eb, "n_blocks": self.n_blocks,
+                "n_sampled_blocks": self.n_sampled_blocks,
+                "n_sampled": self.n_sampled,
+                "max_abs_error": self.max_abs_error,
+                "eb_exceeded": self.eb_exceeded,
+                "eb_satisfied": self.eb_satisfied,
+                "psnr_db": self.psnr_db,
+                "outlier_rate": self.outlier_rate, "seed": self.seed,
+                "error_hist": self.error_hist,
+                "level_entropy_bits": self.level_entropy_bits}
+
+
+def _sample_blocks(shape: tuple[int, ...], block: int, fraction: float,
+                   seed: int) -> tuple[list[tuple[slice, ...]], int]:
+    """Stratified seeded block draw: the block grid is flattened, split
+    into ``k`` equal strata, and one block is taken per stratum at a
+    common seeded offset — even spatial coverage, reproducible."""
+    grid = [max(1, -(-n // block)) for n in shape]
+    n_blocks = int(np.prod(grid))
+    k = max(1, round(fraction * n_blocks))
+    rng = np.random.default_rng(seed)
+    stride = n_blocks / k
+    offset = float(rng.random()) * stride
+    picks = np.minimum((offset + np.arange(k) * stride).astype(np.int64),
+                       n_blocks - 1)
+    sels = []
+    for flat in np.unique(picks):
+        coord = np.unravel_index(int(flat), grid)
+        sels.append(tuple(slice(c * block, min((c + 1) * block, n))
+                          for c, n in zip(coord, shape)))
+    return sels, n_blocks
+
+
+def _entropy_bits(codes: np.ndarray) -> float:
+    """Shannon entropy of a code slice in bits/symbol."""
+    if codes.size == 0:
+        return 0.0
+    _vals, counts = np.unique(codes, return_counts=True)
+    p = counts / codes.size
+    return float(-(p * np.log2(p)).sum())
+
+
+def audit(data: np.ndarray, reconstructed: np.ndarray, abs_eb: float, *,
+          codes: np.ndarray | None = None,
+          pass_levels: list[int] | None = None,
+          pass_sizes: list[int] | None = None,
+          n_outliers: int = 0,
+          seed: int | None = None) -> QualityReport:
+    """Audit one reconstruction against its original.
+
+    ``codes``/``pass_levels``/``pass_sizes`` (the quant-code stream, the
+    interpolation level of each traversal pass, and each pass's code
+    count — all available in the compression path) enable the per-level
+    entropy breakdown; omit them to audit error statistics only.
+    """
+    if data.shape != reconstructed.shape:
+        raise ValueError(f"shape mismatch: original {data.shape} vs "
+                         f"reconstruction {reconstructed.shape}")
+    cfg = config()
+    seed = cfg["seed"] if seed is None else int(seed)
+    sels, n_blocks = _sample_blocks(data.shape, cfg["block"],
+                                    cfg["fraction"], seed)
+    edges = np.array(ERROR_BIN_EDGES)
+    hist = np.zeros(edges.size + 1, dtype=np.int64)
+    n_sampled = 0
+    max_err = 0.0
+    exceeded = 0
+    sq_sum = 0.0
+    for sel in sels:
+        err = np.abs(data[sel].astype(np.float64)
+                     - reconstructed[sel].astype(np.float64))
+        n_sampled += err.size
+        if err.size == 0:
+            continue
+        max_err = max(max_err, float(err.max()))
+        sq_sum += float((err * err).sum())
+        rel = err.ravel() / abs_eb if abs_eb > 0 else \
+            np.where(err.ravel() > 0, np.inf, 0.0)
+        exceeded += int((rel > 1.0).sum())
+        hist += np.bincount(np.searchsorted(edges, rel, side="left"),
+                            minlength=edges.size + 1)
+
+    rng = float(data.max() - data.min()) if data.size else 0.0
+    mse = sq_sum / n_sampled if n_sampled else 0.0
+    if mse <= 0.0:
+        psnr = math.inf if rng > 0 else 0.0
+    elif rng > 0:
+        psnr = 20.0 * math.log10(rng) - 10.0 * math.log10(mse)
+    else:
+        psnr = 0.0
+
+    level_entropy: dict[int, float] = {}
+    if codes is not None and pass_levels and pass_sizes:
+        pos = 0
+        per_level: dict[int, list[np.ndarray]] = {}
+        for level, size in zip(pass_levels, pass_sizes):
+            per_level.setdefault(int(level), []).append(
+                codes[pos:pos + size])
+            pos += size
+        for level in sorted(per_level):
+            level_entropy[level] = round(_entropy_bits(
+                np.concatenate(per_level[level])), 4)
+
+    labels = [*(f"le_{e}" for e in ERROR_BIN_EDGES), "gt_1.0"]
+    report = QualityReport(
+        abs_eb=float(abs_eb), n_blocks=n_blocks,
+        n_sampled_blocks=len(sels), n_sampled=int(n_sampled),
+        max_abs_error=max_err, eb_exceeded=exceeded,
+        psnr_db=round(psnr, 3) if math.isfinite(psnr) else psnr,
+        outlier_rate=round(n_outliers / data.size, 6) if data.size
+        else 0.0,
+        seed=seed,
+        error_hist=[[lab, int(c)] for lab, c in zip(labels, hist)],
+        level_entropy_bits=level_entropy)
+
+    # histogram observations land in the span-tracing registry when it
+    # is recording (quality trends over a traced batch)
+    if abs_eb > 0:
+        telemetry.observe("quality.max_abs_rel_eb", max_err / abs_eb)
+    if math.isfinite(psnr) and psnr:
+        telemetry.observe("quality.psnr_db", psnr)
+    telemetry.observe("quality.outlier_rate", report.outlier_rate)
+    for level, bits in level_entropy.items():
+        telemetry.observe(f"quality.entropy_bits.level{level}", bits)
+    if exceeded:
+        telemetry.incr("quality.eb_violations", exceeded)
+    return report

@@ -1,0 +1,595 @@
+"""Always-on flight recorder: bounded per-run records and the run ledger.
+
+Span tracing (:mod:`repro.telemetry`) answers "what happened inside this
+one run I chose to trace"; it is off by default and records nothing in
+normal operation. The flight recorder answers the production question —
+"what have the last N runs looked like" — and is therefore **on by
+default**: every top-level pipeline run (``compress`` / ``decompress``),
+every runtime batch (parallel slabs, field maps) and every archive
+pack/unpack appends one compact :class:`RunRecord` to a bounded ring
+buffer, even while span tracing is off.
+
+A record carries the codec, error bound, shape, byte volumes, wall time
+split per top-level stage, worker count, per-run cache behaviour (hit /
+miss / eviction deltas of every cache in
+:mod:`repro.telemetry.caches`), peak-memory high-water marks (own
+process plus merged worker processes), the lossless plan the
+orchestrator chose, and — when the opt-in quality auditor ran — the
+sampled error/entropy summary.
+
+The ring persists on demand as a JSONL **run ledger**
+(:func:`write_ledger` / :func:`read_ledger`) which ``repro stats`` and
+``repro doctor`` aggregate: per-stage latency percentiles, compression-
+ratio distributions, cache health, anomaly flags. See
+``docs/OBSERVABILITY.md``.
+
+Overhead discipline mirrors the span tracer: the **disabled** path is a
+single flag check returning a shared no-op capture (the unit suite
+asserts sub-microsecond per append), and the enabled path costs two
+cache snapshots plus a handful of ``perf_counter`` reads per run —
+well under 1% of a real pipeline run. Set ``REPRO_FLIGHT_RECORDER=0``
+in the environment to start disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import tracemalloc
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.telemetry import caches
+
+__all__ = ["RunRecord", "RunCapture", "capture", "current", "annotate",
+           "count", "suppressed", "records", "clear", "set_capacity",
+           "capacity", "enabled", "enable", "disable",
+           "to_jsonl", "from_jsonl", "write_ledger", "read_ledger",
+           "worker_baseline", "worker_aux", "aggregate",
+           "model_deviation", "DEFAULT_CAPACITY"]
+
+#: run records kept in the ring before the oldest is dropped
+DEFAULT_CAPACITY = 1024
+
+_LEDGER_VERSION = 1
+
+#: worker-aux cache counters folded into the parent record
+_WORKER_CACHE_KEYS = ("hits", "misses", "evictions")
+
+
+def _peak_rss_kb() -> int:
+    """Process peak resident set size in KiB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass
+class RunRecord:
+    """One completed top-level run, as recorded in the ring / ledger."""
+
+    seq: int
+    kind: str                     # compress / decompress / runtime.* / ...
+    ts: float                     # unix time at record close
+    wall_s: float
+    status: str = "ok"
+    codec: str | None = None
+    stages: dict = field(default_factory=dict)      # stage -> seconds
+    attrs: dict = field(default_factory=dict)       # shape, eb, bytes ...
+    caches: dict = field(default_factory=dict)      # cache -> delta dict
+    counters: dict = field(default_factory=dict)
+    memory: dict = field(default_factory=dict)      # peak_rss_kb, ...
+    worker: dict = field(default_factory=dict)      # merged worker stats
+
+    @property
+    def bytes_in(self) -> int:
+        return int(self.attrs.get("bytes_in", 0) or 0)
+
+    @property
+    def bytes_out(self) -> int:
+        return int(self.attrs.get("bytes_out", 0) or 0)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio (raw / compressed), direction-aware."""
+        raw, comp = self.bytes_in, self.bytes_out
+        if self.kind.startswith("decompress") or ".decompress" in self.kind \
+                or self.kind.endswith((".load", ".unpack", ".read")):
+            raw, comp = comp, raw
+        return raw / comp if comp else 0.0
+
+    @property
+    def raw_bytes(self) -> int:
+        """Uncompressed side of the run (throughput denominator)."""
+        return max(self.bytes_in, self.bytes_out)
+
+    @property
+    def throughput_mb_s(self) -> float:
+        return self.raw_bytes / self.wall_s / 1e6 if self.wall_s else 0.0
+
+    def to_dict(self) -> dict:
+        return {"v": _LEDGER_VERSION, "seq": self.seq, "kind": self.kind,
+                "ts": self.ts, "wall_s": self.wall_s,
+                "status": self.status, "codec": self.codec,
+                "stages": self.stages, "attrs": self.attrs,
+                "caches": self.caches, "counters": self.counters,
+                "memory": self.memory, "worker": self.worker}
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "RunRecord":
+        return cls(seq=int(obj.get("seq", 0)),
+                   kind=str(obj.get("kind", "?")),
+                   ts=float(obj.get("ts", 0.0)),
+                   wall_s=float(obj.get("wall_s", 0.0)),
+                   status=str(obj.get("status", "ok")),
+                   codec=obj.get("codec"),
+                   stages=dict(obj.get("stages", {})),
+                   attrs=dict(obj.get("attrs", {})),
+                   caches=dict(obj.get("caches", {})),
+                   counters=dict(obj.get("counters", {})),
+                   memory=dict(obj.get("memory", {})),
+                   worker=dict(obj.get("worker", {})))
+
+
+# -- module state -----------------------------------------------------------
+
+_enabled = os.environ.get("REPRO_FLIGHT_RECORDER", "1").lower() \
+    not in ("0", "off", "false")
+_lock = threading.Lock()
+_ring: deque = deque(maxlen=DEFAULT_CAPACITY)
+_seq = 0
+_tls = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def enabled() -> bool:
+    """Is the flight recorder currently on?"""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn the recorder on (it starts on unless REPRO_FLIGHT_RECORDER=0)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the recorder off (the ring and its records are kept)."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def suppressed():
+    """Suppress record creation on this thread for the ``with`` body.
+
+    Used where an internal run must not pollute the ledger — e.g. the
+    quality auditor's verification decompress inside a compress record.
+    """
+    depth = getattr(_tls, "suppress", 0)
+    _tls.suppress = depth + 1
+    try:
+        yield
+    finally:
+        _tls.suppress = depth
+
+
+def set_capacity(n: int) -> int:
+    """Resize the ring (keeps the newest records); returns the old cap."""
+    global _ring
+    if n < 1:
+        raise ValueError(f"recorder capacity must be >= 1, got {n}")
+    with _lock:
+        old = _ring.maxlen or DEFAULT_CAPACITY
+        _ring = deque(_ring, maxlen=int(n))
+    return old
+
+
+def capacity() -> int:
+    return _ring.maxlen or DEFAULT_CAPACITY
+
+
+def records() -> list[RunRecord]:
+    """Snapshot of the ring, oldest first."""
+    with _lock:
+        return list(_ring)
+
+
+def clear() -> None:
+    """Drop every record (mainly for tests)."""
+    with _lock:
+        _ring.clear()
+
+
+def _append(rec: RunRecord) -> None:
+    with _lock:
+        _ring.append(rec)
+
+
+def _alloc_seq() -> int:
+    global _seq
+    with _lock:
+        _seq += 1
+        return _seq
+
+
+# -- capture ----------------------------------------------------------------
+
+class _NullStage:
+    """Shared do-nothing stage timer (recorder disabled/suppressed)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _NullCapture:
+    """Shared do-nothing capture returned while the recorder is off."""
+
+    __slots__ = ()
+
+    def stage(self, name: str) -> _NullStage:
+        return _NULL_STAGE
+
+    def set(self, **attrs) -> "_NullCapture":
+        return self
+
+    def count(self, name: str, value: float = 1.0) -> "_NullCapture":
+        return self
+
+    def merge_worker(self, aux) -> "_NullCapture":
+        return self
+
+    def __enter__(self) -> "_NullCapture":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CAPTURE = _NullCapture()
+
+
+class _Stage:
+    """Accumulating stage timer inside one capture."""
+
+    __slots__ = ("_cap", "_name", "_t0")
+
+    def __init__(self, cap: "RunCapture", name: str):
+        self._cap = cap
+        self._name = name
+
+    def __enter__(self) -> "_Stage":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        stages = self._cap._stages
+        stages[self._name] = stages.get(self._name, 0.0) \
+            + time.perf_counter() - self._t0
+        return False
+
+
+class RunCapture:
+    """Context manager building one :class:`RunRecord`.
+
+    Opened by :func:`capture` at every top-level run site. Stage wall
+    times accumulate via :meth:`stage`, arbitrary attributes via
+    :meth:`set`, event counters via :meth:`count`, and worker-process
+    stats via :meth:`merge_worker`; cache deltas and memory high-water
+    marks are collected automatically on exit.
+    """
+
+    __slots__ = ("kind", "_attrs", "_stages", "_counters", "_worker",
+                 "_pids", "_t0", "_snap0")
+
+    def __init__(self, kind: str, **attrs):
+        self.kind = kind
+        self._attrs = attrs
+        self._stages: dict[str, float] = {}
+        self._counters: dict[str, float] = {}
+        self._worker: dict[str, float] = {}
+        self._pids: set[int] = set()
+
+    def stage(self, name: str) -> _Stage:
+        """Time one top-level stage (re-entry accumulates)."""
+        return _Stage(self, name)
+
+    def set(self, **attrs) -> "RunCapture":
+        """Attach attributes to the record; returns self for chaining."""
+        self._attrs.update(attrs)
+        return self
+
+    def count(self, name: str, value: float = 1.0) -> "RunCapture":
+        """Bump a per-record event counter."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+        return self
+
+    def merge_worker(self, aux: dict | None) -> "RunCapture":
+        """Fold one worker task's aux stats (see :func:`worker_aux`)
+        into this record: cache counters sum, memory peaks take max."""
+        if not aux:
+            return self
+        w = self._worker
+        w["tasks"] = w.get("tasks", 0) + 1
+        for key in ("peak_rss_kb", "tracemalloc_peak_kb"):
+            if aux.get(key):
+                w[key] = max(w.get(key, 0), int(aux[key]))
+        wc = aux.get("caches") or {}
+        for key in _WORKER_CACHE_KEYS:
+            if wc.get(key):
+                w[f"cache_{key}"] = w.get(f"cache_{key}", 0) + int(wc[key])
+        if aux.get("pid"):
+            self._pids.add(int(aux["pid"]))
+        return self
+
+    def __enter__(self) -> "RunCapture":
+        _stack().append(self)
+        self._snap0 = caches.snapshot()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        delta = caches.diff(self._snap0, caches.snapshot())
+        memory = {"peak_rss_kb": _peak_rss_kb()}
+        if tracemalloc.is_tracing():
+            memory["tracemalloc_peak_kb"] = \
+                tracemalloc.get_traced_memory()[1] // 1024
+        worker = dict(self._worker)
+        if self._pids:
+            worker["n_pids"] = len(self._pids)
+        rec = RunRecord(
+            seq=_alloc_seq(), kind=self.kind, ts=time.time(),
+            wall_s=wall,
+            status="error" if exc_type is not None else "ok",
+            codec=self._attrs.pop("codec", None),
+            stages=self._stages, attrs=self._attrs,
+            caches={name: d for name, d in delta.items()
+                    if d["lookups"] or d["evictions"]},
+            counters=self._counters, memory=memory, worker=worker)
+        _append(rec)
+        return False
+
+
+def capture(kind: str, **attrs):
+    """Open a run capture; a shared no-op while disabled/suppressed."""
+    if not _enabled or getattr(_tls, "suppress", 0):
+        return _NULL_CAPTURE
+    return RunCapture(kind, **attrs)
+
+
+def current() -> RunCapture | None:
+    """This thread's innermost open capture, if any."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def annotate(**attrs) -> None:
+    """Attach attributes to the current capture (no-op without one).
+
+    This is the in-process trace-context propagation hook: layers deep
+    inside a run (the lossless orchestrator, the pool) stamp their
+    decisions onto whichever record is being built.
+    """
+    cap = current()
+    if cap is not None:
+        cap.set(**attrs)
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Bump a counter on the current capture (no-op without one)."""
+    cap = current()
+    if cap is not None:
+        cap.count(name, value)
+
+
+# -- worker-process stat propagation ----------------------------------------
+
+def worker_baseline() -> dict[str, int]:
+    """Cache-counter totals at worker-task start (cheap, one small dict);
+    pass the result to :func:`worker_aux` at task end."""
+    return caches.snapshot_totals()
+
+
+def worker_aux(baseline: dict[str, int] | None = None) -> dict:
+    """Aux stats a pool worker ships back with its task result: its pid,
+    peak-RSS / tracemalloc high-water marks, and cache-counter deltas
+    since ``baseline``. Merged into the parent record via
+    :meth:`RunCapture.merge_worker`."""
+    now = caches.snapshot_totals()
+    base = baseline or {}
+    aux = {"pid": os.getpid(), "peak_rss_kb": _peak_rss_kb(),
+           "caches": {k: now.get(k, 0) - base.get(k, 0)
+                      for k in _WORKER_CACHE_KEYS}}
+    if tracemalloc.is_tracing():  # pragma: no cover - opt-in profiling
+        aux["tracemalloc_peak_kb"] = \
+            tracemalloc.get_traced_memory()[1] // 1024
+    return aux
+
+
+# -- ledger serialization ---------------------------------------------------
+
+def to_jsonl(recs: list[RunRecord] | None = None) -> str:
+    """Serialize records (default: the ring) as JSON lines."""
+    recs = records() if recs is None else recs
+    return "".join(json.dumps(r.to_dict(), default=str) + "\n"
+                   for r in recs)
+
+
+def from_jsonl(text: str) -> list[RunRecord]:
+    """Parse ledger text back into records (bad lines are rejected)."""
+    out = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"ledger line {lineno} is not JSON: {exc}")
+        if not isinstance(obj, dict):
+            raise ValueError(f"ledger line {lineno}: expected an object")
+        out.append(RunRecord.from_dict(obj))
+    return out
+
+
+def write_ledger(path: str, recs: list[RunRecord] | None = None, *,
+                 append: bool = False) -> int:
+    """Persist records (default: the ring) to a JSONL ledger file.
+
+    Returns the number of records written. ``append=True`` adds to an
+    existing ledger (long-running services rotating the ring to disk).
+    """
+    recs = records() if recs is None else recs
+    with open(path, "a" if append else "w") as f:
+        f.write(to_jsonl(recs))
+    return len(recs)
+
+
+def read_ledger(path: str) -> list[RunRecord]:
+    """Load a JSONL run ledger from disk."""
+    with open(path) as f:
+        return from_jsonl(f.read())
+
+
+# -- aggregation (repro stats) ----------------------------------------------
+
+def _percentiles(values: list[float]) -> dict[str, float]:
+    vals = sorted(values)
+    n = len(vals)
+
+    def pct(q: float) -> float:
+        if n == 1:
+            return vals[0]
+        pos = q * (n - 1)
+        lo = int(pos)
+        frac = pos - lo
+        hi = min(lo + 1, n - 1)
+        return vals[lo] * (1 - frac) + vals[hi] * frac
+
+    return {"n": n, "min": vals[0], "p50": pct(0.50), "p95": pct(0.95),
+            "p99": pct(0.99), "max": vals[-1],
+            "mean": sum(vals) / n}
+
+
+def aggregate(recs: list[RunRecord]) -> dict:
+    """Aggregate ledger records per ``(kind, codec)`` group.
+
+    Returns ``{group_label: {"n", "errors", "wall_s", "stages",
+    "ratio", "throughput_mb_s", "cache_hit_ratio", "workers"}}`` where
+    each latency entry is a percentile dict (p50/p95/p99/...).
+    """
+    groups: dict[str, list[RunRecord]] = {}
+    for rec in recs:
+        label = rec.kind if rec.codec is None \
+            else f"{rec.kind}[{rec.codec}]"
+        groups.setdefault(label, []).append(rec)
+    out = {}
+    for label in sorted(groups):
+        rs = groups[label]
+        entry: dict = {
+            "n": len(rs),
+            "errors": sum(1 for r in rs if r.status != "ok"),
+            "wall_s": _percentiles([r.wall_s for r in rs]),
+        }
+        stage_vals: dict[str, list[float]] = {}
+        for r in rs:
+            for stage, sec in r.stages.items():
+                stage_vals.setdefault(stage, []).append(sec)
+        entry["stages"] = {s: _percentiles(v)
+                           for s, v in sorted(stage_vals.items())}
+        ratios = [r.ratio for r in rs if r.ratio > 0]
+        if ratios:
+            entry["ratio"] = _percentiles(ratios)
+        thr = [r.throughput_mb_s for r in rs if r.throughput_mb_s > 0]
+        if thr:
+            entry["throughput_mb_s"] = _percentiles(thr)
+        hits = sum(d.get("hits", 0) for r in rs
+                   for d in r.caches.values())
+        lookups = hits + sum(d.get("misses", 0) for r in rs
+                             for d in r.caches.values())
+        if lookups:
+            entry["cache_hit_ratio"] = hits / lookups
+        workers = [int(r.attrs["workers"]) for r in rs
+                   if r.attrs.get("workers")]
+        if workers:
+            entry["workers"] = max(workers)
+        out[label] = entry
+    return out
+
+
+def model_deviation(rec: RunRecord, device: str = "a100",
+                    skew_threshold: float = 5.0) -> dict | None:
+    """Compare one pipeline record's stage shares against the GPU perf
+    model (the ledger-level analogue of the span-tree cross-check).
+
+    Returns ``{"stages": {stage: {"measured_share", "modelled_share",
+    "skew", "flagged"}}, "flagged": bool, "modelled_total_s":
+    float}`` or ``None`` when the record cannot be modelled (unknown
+    codec/direction, missing attributes)."""
+    from repro.gpu.device import DEVICES
+    from repro.gpu.perfmodel import estimate_throughput
+    from repro.telemetry.crosscheck import MEASURED_STAGES, MODEL_STAGES
+
+    if rec.kind not in ("compress", "decompress") or rec.codec is None:
+        return None
+    if (rec.codec, rec.kind) not in MODEL_STAGES:
+        return None
+    n_elements = rec.attrs.get("n_elements")
+    compressed = rec.bytes_out if rec.kind == "compress" else rec.bytes_in
+    if not n_elements or not compressed:
+        return None
+    lossless = str(rec.attrs.get("lossless", "none"))
+    model_lossless = "gle" if lossless in ("gle", "auto") else "none"
+    timing = estimate_throughput(rec.codec, rec.kind, int(n_elements),
+                                 int(compressed), DEVICES[device],
+                                 model_lossless)
+    kernel_s = dict(timing.kernels)
+    measured = {stage: sum(rec.stages.get(n, 0.0) for n in names)
+                for stage, names in MEASURED_STAGES[rec.kind].items()}
+    modelled = {stage: sum(kernel_s.get(n, 0.0) for n in names)
+                for stage, names
+                in MODEL_STAGES[(rec.codec, rec.kind)].items()}
+    m_total = sum(measured.values())
+    mod_total = sum(modelled.values())
+    if not m_total or not mod_total:
+        return None
+    stages = {}
+    flagged = False
+    for stage in modelled:
+        ms = measured.get(stage, 0.0) / m_total
+        os_ = modelled[stage] / mod_total
+        skew = ms / os_ if os_ > 0 else (float("inf") if ms else 1.0)
+        flag = skew > skew_threshold or \
+            (skew > 0 and skew < 1.0 / skew_threshold)
+        flagged = flagged or flag
+        stages[stage] = {"measured_share": ms, "modelled_share": os_,
+                         "skew": skew, "flagged": flag}
+    return {"stages": stages, "flagged": flagged,
+            "modelled_total_s": mod_total, "device": device}

@@ -1,0 +1,146 @@
+"""Regression sentinel over the perf trajectory (``BENCH_pipeline.json``).
+
+One implementation of the ">25% slower than the committed baseline"
+check, shared by the CI bench job (``benchmarks/compare_trajectory.py``)
+and ``repro stats --check``. Each trajectory section — ``ginterp``
+(compiled-engine compress loop), ``lossless`` (warm orchestrated
+encode), ``runtime`` (parallel slab wall time) — has one *gating*
+metric and a few informational ones; a gating metric past its section
+threshold yields a regressed :class:`Finding`, rendered as a GitHub
+``::warning::`` annotation in CI.
+
+Thresholds default to 25% per section and, from trajectory **schema 5**
+on, are read from the document's own ``thresholds`` object — the
+committed baseline states how much noise each section tolerates, so
+tightening or loosening a gate is a reviewed one-line diff, not a CI
+config hunt.
+
+Sentinel findings stay *warn-only* (shared-runner wall times are too
+noisy to fail merges on); structural anomalies fail via
+``repro doctor --check`` instead. See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass
+
+__all__ = ["Finding", "DEFAULT_THRESHOLD", "SECTIONS", "thresholds_for",
+           "check", "format_findings", "load_baseline"]
+
+#: relative regression that triggers a warning when a section's schema-5
+#: ``thresholds`` entry (or the whole object, schema < 5) is absent
+DEFAULT_THRESHOLD = 0.25
+
+#: per-section watched metrics: ``gate`` entries can regress a finding,
+#: ``info`` entries are compared and reported but never gate
+SECTIONS = {
+    "ginterp": {"gate": ("compiled_compress_s",),
+                "info": ("reference_compress_s",), "unit": "s"},
+    "lossless": {"gate": ("warm_encode_us",),
+                 "info": ("cold_encode_us", "orch_decode_us"),
+                 "unit": "us"},
+    "runtime": {"gate": ("parallel_s",),
+                "info": ("serial_s", "parallel_decompress_s"),
+                "unit": "s"},
+}
+
+
+@dataclass
+class Finding:
+    """One baseline-vs-current metric comparison."""
+
+    section: str
+    key: str
+    baseline: float
+    current: float
+    threshold: float
+    gating: bool
+    unit: str = "s"
+
+    @property
+    def rel(self) -> float:
+        return (self.current - self.baseline) / self.baseline \
+            if self.baseline else 0.0
+
+    @property
+    def regressed(self) -> bool:
+        return self.gating and self.rel > self.threshold
+
+    def format(self, github: bool = False) -> str:
+        marker = "::warning::" if github and self.regressed else ""
+        tag = " [REGRESSED]" if self.regressed and not github else ""
+        return (f"{marker}{self.section} {self.key}: "
+                f"{self.baseline:.6g}{self.unit} -> "
+                f"{self.current:.6g}{self.unit} "
+                f"({self.rel:+.1%}, warn threshold "
+                f"+{self.threshold:.0%}){tag}")
+
+
+def thresholds_for(doc: dict) -> dict[str, float]:
+    """Per-section thresholds: document-declared (schema >= 5) over the
+    default. Unknown sections in the document are kept (forward
+    compatibility); non-numeric entries are ignored."""
+    out = {section: DEFAULT_THRESHOLD for section in SECTIONS}
+    declared = doc.get("thresholds")
+    if isinstance(declared, dict):
+        for section, thr in declared.items():
+            if isinstance(thr, (int, float)) and thr > 0:
+                out[section] = float(thr)
+    return out
+
+
+def check(current: dict, baseline: dict,
+          thresholds: dict[str, float] | None = None) -> list["Finding"]:
+    """Compare every watched metric of ``current`` against ``baseline``.
+
+    Thresholds come from the **baseline** document by default — the
+    committed trajectory owns its noise tolerance; a PR cannot loosen
+    the gate for itself by editing the fresh emit.
+    """
+    thr = dict(thresholds_for(baseline))
+    if thresholds:
+        thr.update(thresholds)
+    findings: list[Finding] = []
+    for section, spec in SECTIONS.items():
+        base_sec = baseline.get(section)
+        cur_sec = current.get(section)
+        if not isinstance(base_sec, dict) or not isinstance(cur_sec, dict):
+            continue
+        for gating, keys in ((True, spec["gate"]), (False, spec["info"])):
+            for key in keys:
+                old, new = base_sec.get(key), cur_sec.get(key)
+                if not isinstance(old, (int, float)) \
+                        or not isinstance(new, (int, float)) \
+                        or not old or not new:
+                    continue
+                findings.append(Finding(
+                    section=section, key=key, baseline=float(old),
+                    current=float(new),
+                    threshold=thr.get(section, DEFAULT_THRESHOLD),
+                    gating=gating, unit=spec["unit"]))
+    return findings
+
+
+def format_findings(findings: list["Finding"],
+                    github: bool = False) -> list[str]:
+    """Render findings, regressed ones first."""
+    ordered = sorted(findings, key=lambda f: (not f.regressed,
+                                              f.section, f.key))
+    return [f.format(github=github) for f in ordered]
+
+
+def load_baseline(ref: str, path: str = "BENCH_pipeline.json") \
+        -> dict | None:
+    """The committed trajectory at ``ref`` via ``git show`` (or None)."""
+    try:
+        out = subprocess.run(["git", "show", f"{ref}:{path}"],
+                             capture_output=True, text=True, check=True)
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    try:
+        doc = json.loads(out.stdout)
+    except json.JSONDecodeError:
+        return None
+    return doc if isinstance(doc, dict) else None

@@ -190,6 +190,63 @@ class TestExporters:
         assert 'repro_span_duration_seconds_count{span="huffman"} 1' \
             in text
 
+    def test_prometheus_help_lines(self):
+        text = exporters.to_prometheus(self._sample_registry())
+        assert '# HELP repro_outliers_total telemetry counter ' \
+               '"outliers"' in text
+        assert "# HELP repro_pass_targets telemetry histogram" in text
+        assert "# HELP repro_span_duration_seconds" in text
+        # every TYPE line is preceded by its HELP line
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE"):
+                metric = line.split()[2]
+                assert lines[i - 1].startswith(f"# HELP {metric} ")
+
+    def test_degenerate_histogram_gets_spread_buckets(self):
+        # identical observations used to produce a single bucket edge
+        assert exporters._histogram_buckets([1.0, 1.0]) == \
+            [0.1, 1.0, 10.0]
+        # float overshoot of the top decade still lands in a bucket
+        vals = [10.000001]
+        buckets = exporters._histogram_buckets(vals)
+        assert max(vals) <= max(buckets)
+        # all non-positive: one fallback bucket
+        assert exporters._histogram_buckets([0.0, -1.0]) == [1.0]
+        with telemetry.recording() as reg:
+            telemetry.observe("h", 5.0)
+            telemetry.observe("h", 5.0)
+        text = exporters.to_prometheus(reg)
+        finite = [ln for ln in text.splitlines()
+                  if "repro_h_bucket" in ln and "+Inf" not in ln]
+        assert len(finite) >= 2
+
+    def test_prometheus_cache_gauges(self):
+        from repro.telemetry import caches
+        caches.register("test.export", lambda: {
+            "hits": 7, "misses": 3, "size": 2, "limit": 8,
+            "size_bytes": 640})
+        try:
+            text = exporters.to_prometheus(Registry())
+            assert "# TYPE repro_cache_hits_total counter" in text
+            assert "# TYPE repro_cache_size_bytes gauge" in text
+            assert 'repro_cache_hits_total{cache="test.export"} 7' \
+                in text
+            assert 'repro_cache_size_bytes{cache="test.export"} 640' \
+                in text
+            assert 'repro_cache_hit_ratio{cache="test.export"} 0.7' \
+                in text
+            # the four built-in cache families all export series
+            for cache in ("ginterp.plan", "ginterp.autotune",
+                          "huffman.codebook", "huffman.table",
+                          "lossless.orchestrator_plan"):
+                assert f'repro_cache_size{{cache="{cache}"}}' in text
+            off = exporters.to_prometheus(Registry(),
+                                          include_caches=False)
+            assert "repro_cache_" not in off
+        finally:
+            caches.unregister("test.export")
+
 
 class TestCrosscheck:
     def test_crosscheck_against_model(self):
