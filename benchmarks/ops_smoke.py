@@ -1,0 +1,158 @@
+"""CI smoke test for the live ops plane (``repro serve-ops``).
+
+Boots the ops server as a real subprocess against a freshly generated
+run ledger, then exercises the plane the way a monitoring stack would:
+
+* ``/ready`` and ``/health`` must answer 200,
+* ``/metrics`` must be well-formed Prometheus exposition text and carry
+  the ``repro_build_info`` and ``repro_slo_*`` series,
+* ``/runs`` must return the seeded records,
+* ``/runs/stream`` must deliver at least one SSE ``run`` event.
+
+Exits nonzero on any non-200, malformed exposition line, or missing
+series — run by the ``ops-smoke`` CI job. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+sys.path.insert(0, SRC)
+
+#: one Prometheus sample line: metric name, optional labels, a value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})?'
+    r" (NaN|[+-]?Inf|[+-]?[0-9.]+([eE][+-]?[0-9]+)?)$")
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _get(base: str, path: str) -> tuple[int, str]:
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        return resp.status, resp.read().decode()
+
+
+def _wait_ready(base: str, deadline_s: float = 20.0) -> None:
+    deadline = time.time() + deadline_s
+    while time.time() < deadline:
+        try:
+            status, _ = _get(base, "/ready")
+            if status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.2)
+    raise SystemExit("ops server never became ready")
+
+
+def _check_prometheus(body: str) -> int:
+    """Validate exposition grammar; returns the number of sample lines."""
+    samples = 0
+    for lineno, line in enumerate(body.splitlines(), 1):
+        if not line or line.startswith("#"):
+            continue
+        if not _SAMPLE_RE.match(line):
+            raise SystemExit(f"malformed Prometheus line {lineno}: "
+                             f"{line!r}")
+        samples += 1
+    return samples
+
+
+def _seed_ledger(path: str) -> int:
+    """A small real workload's ledger: compress/decompress round trips."""
+    import numpy as np
+
+    from repro.registry import get_compressor
+    from repro.telemetry import recorder
+
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(24, 24, 24)).astype(np.float32)
+    for ax in range(data.ndim):
+        data = (data + np.roll(data, 1, ax)) / 2
+    comp = get_compressor("cuszi", eb=1e-3, mode="abs")
+    for _ in range(3):
+        comp.decompress(comp.compress(data))
+    return recorder.write_ledger(path)
+
+
+def _read_one_sse_event(base: str) -> dict:
+    req = urllib.request.Request(base + "/runs/stream?replay=1")
+    with urllib.request.urlopen(req, timeout=15) as resp:
+        ctype = resp.headers["Content-Type"]
+        if ctype != "text/event-stream":
+            raise SystemExit(f"SSE content type was {ctype!r}")
+        for raw in resp:
+            line = raw.decode().rstrip("\n")
+            if line.startswith("data: "):
+                return json.loads(line[6:])
+    raise SystemExit("SSE stream closed without an event")
+
+
+def main() -> int:
+    ledger = os.path.abspath("OPS_smoke_ledger.jsonl")
+    n = _seed_ledger(ledger)
+    print(f"seeded {n} run record(s) -> {ledger}")
+
+    port = _free_port()
+    base = f"http://127.0.0.1:{port}"
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve-ops",
+         "--port", str(port), "--ledger", ledger,
+         "--for-seconds", "120"], env=env)
+    try:
+        _wait_ready(base)
+
+        status, body = _get(base, "/health")
+        doc = json.loads(body)
+        print(f"/health {status} {doc['status']} "
+              f"({len(doc['checks'])} checks)")
+        assert status == 200 and doc["status"] == "healthy", doc
+
+        status, body = _get(base, "/metrics")
+        assert status == 200
+        samples = _check_prometheus(body)
+        print(f"/metrics {status}: {samples} well-formed sample(s)")
+        for needle in ("repro_build_info", "repro_slo_burn_rate",
+                       "repro_slo_error_budget_remaining",
+                       "repro_ops_uptime_seconds"):
+            assert needle in body, f"missing series {needle}"
+
+        status, body = _get(base, "/runs?n=10")
+        doc = json.loads(body)
+        print(f"/runs {status}: {doc['n_total']} record(s)")
+        assert status == 200 and doc["n_total"] == n
+        assert all(r.get("trace_id") for r in doc["records"])
+
+        event = _read_one_sse_event(base)
+        print(f"/runs/stream delivered one event: kind={event['kind']}")
+        assert event["kind"] in ("compress", "decompress")
+
+        print("ops smoke: OK")
+        return 0
+    finally:
+        proc.terminate()
+        proc.wait(timeout=20)
+        try:
+            os.remove(ledger)
+        except OSError:
+            pass
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,12 @@ forwards to the experiment runner.
 
 ``repro stats`` aggregates a flight-recorder run ledger (stage latency
 percentiles, compression-ratio distribution, throughput vs the modelled
-GPU) and ``repro doctor`` diagnoses ledger + environment + cache health
-— ``--check`` makes structural anomalies exit nonzero for CI. See
-``docs/OBSERVABILITY.md``.
+GPU, SLO error budgets) and ``repro doctor`` diagnoses ledger +
+environment + cache health — ``--check`` makes structural anomalies exit
+nonzero for CI, and ``--slo`` adds error-budget exhaustion to the gate.
+``repro serve-ops`` boots the live ops plane
+(:mod:`repro.telemetry.opsd`): /metrics, /health, /ready, /runs (+SSE),
+/profile over HTTP. See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -186,9 +189,19 @@ def _fmt_pct(entry: dict) -> str:
             f"p99 {entry['p99'] * 1e3:9.2f}ms")
 
 
+def _load_slos(spec: str | None):
+    """Resolve a ``--slo`` argument: None -> the default objectives,
+    a path -> a declarative objectives file."""
+    from repro.telemetry import slo as slomod
+    if spec is None or spec == "default":
+        return slomod.DEFAULT_SLOS
+    return slomod.load_slos(spec)
+
+
 def _cmd_stats(args) -> int:
     import json as _json
     from repro.telemetry import recorder
+    from repro.telemetry import slo as slomod
 
     try:
         records = recorder.read_ledger(args.ledger)
@@ -196,9 +209,24 @@ def _cmd_stats(args) -> int:
         print(f"error: cannot read ledger {args.ledger!r}: {exc}",
               file=sys.stderr)
         return 1
+    try:
+        slos = _load_slos(args.slo)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load SLOs from {args.slo!r}: {exc}",
+              file=sys.stderr)
+        return 1
     groups = recorder.aggregate(records)
+    statuses = slomod.evaluate(records, slos)
+    sentinel_doc = None
     if args.json:
-        print(_json.dumps(groups, indent=2, sort_keys=True))
+        doc = {"schema": 1, "ledger": args.ledger,
+               "n_records": len(records), "groups": groups,
+               "slo": [st.to_dict() for st in statuses]}
+        if args.check:
+            sentinel_doc = _stats_sentinel(args, as_json=True)
+            doc["sentinel"] = sentinel_doc
+        print(_json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     else:
         for label, entry in groups.items():
             head = f"{label}: n={entry['n']}"
@@ -221,12 +249,16 @@ def _cmd_stats(args) -> int:
             if "cache_hit_ratio" in entry:
                 print(f"  cache hit ratio {entry['cache_hit_ratio']:.1%}")
 
+    if statuses:
+        print("slo error budgets:")
+        for line in slomod.format_statuses(statuses):
+            print(f"  {line}")
+
     # modelled-GPU throughput cross-check: flag records whose measured
     # stage shares skew far from the perf-model's kernel shares
-    # (text report only — --json emits the aggregate document alone)
     flagged = 0
     modelled = 0
-    for rec in records if not args.json else ():
+    for rec in records:
         dev = recorder.model_deviation(rec, device=args.device)
         if dev is None:
             continue
@@ -245,26 +277,42 @@ def _cmd_stats(args) -> int:
               f"checked, {flagged} flagged for stage-share skew")
 
     if args.check:
-        # wall-time regression sentinel vs the committed perf trajectory
-        # (warn-only by design; repro doctor --check is the CI gate)
-        import json
-        from repro.telemetry import sentinel
-        try:
-            with open(args.bench) as f:
-                current = json.load(f)
-        except (OSError, json.JSONDecodeError) as exc:
-            print(f"sentinel: cannot read {args.bench}: {exc}")
-            return 0
-        baseline = sentinel.load_baseline(args.base_ref)
-        if baseline is None:
-            print(f"sentinel: no committed BENCH_pipeline.json at "
-                  f"{args.base_ref}; nothing to compare")
-            return 0
-        findings = sentinel.check(current, baseline)
-        for line in sentinel.format_findings(findings,
-                                             github=args.github):
-            print(line)
+        _stats_sentinel(args, as_json=False)
     return 0
+
+
+def _stats_sentinel(args, as_json: bool):
+    """Run the warn-only wall-time regression sentinel against the
+    committed perf trajectory. Text mode prints findings; JSON mode
+    returns the evaluation as a document section (satisfying ``repro
+    stats --json --check``) and prints nothing."""
+    import json
+    from repro.telemetry import sentinel
+
+    def emit(line):
+        if not as_json:
+            print(line)
+
+    try:
+        with open(args.bench) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        emit(f"sentinel: cannot read {args.bench}: {exc}")
+        return {"status": "no-current", "detail": str(exc),
+                "findings": []}
+    baseline = sentinel.load_baseline(args.base_ref)
+    if baseline is None:
+        emit(f"sentinel: no committed BENCH_pipeline.json at "
+             f"{args.base_ref}; nothing to compare")
+        return {"status": "no-baseline", "base_ref": args.base_ref,
+                "findings": []}
+    findings = sentinel.check(current, baseline)
+    for line in sentinel.format_findings(findings, github=args.github):
+        emit(line)
+    return {"status": "compared", "base_ref": args.base_ref,
+            "n_findings": len(findings),
+            "findings": [f.to_dict() if hasattr(f, "to_dict")
+                         else vars(f) for f in findings]}
 
 
 def _cmd_doctor(args) -> int:
@@ -292,10 +340,69 @@ def _cmd_doctor(args) -> int:
     threshold = (doctor.WARM_HIT_THRESHOLD
                  if args.warm_hit_threshold is None
                  else args.warm_hit_threshold)
-    diag = doctor.diagnose(records, warm_hit_threshold=threshold)
+    slos = None
+    if args.slo is not None:
+        try:
+            slos = _load_slos(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load SLOs from {args.slo!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+    diag = doctor.diagnose(records, warm_hit_threshold=threshold,
+                           slos=slos)
     print(diag.format())
     if args.check and not diag.healthy:
         return 1
+    return 0
+
+
+def _cmd_serve_ops(args) -> int:
+    import time as _time
+    from repro.telemetry import opsd, recorder
+
+    try:
+        slos = _load_slos(args.slo)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load SLOs from {args.slo!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    base = []
+    if args.ledger:
+        try:
+            base = recorder.read_ledger(args.ledger)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read ledger {args.ledger!r}: {exc}",
+                  file=sys.stderr)
+            return 1
+    port = opsd.DEFAULT_PORT if args.port is None else args.port
+    keep = (recorder.DEFAULT_LEDGER_KEEP if args.persist_keep is None
+            else args.persist_keep)
+    try:
+        server = opsd.start_ops_server(
+            args.host, port, slos=slos, base_records=base,
+            persist_path=args.persist,
+            persist_max_bytes=args.persist_max_bytes,
+            persist_keep=keep,
+            warm_hit_threshold=args.warm_hit_threshold)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(f"ops server on {server.url} "
+          f"({len(base)} ledger record(s) loaded; endpoints: /metrics "
+          f"/health /ready /runs /runs/stream /slo /profile)",
+          flush=True)
+    try:
+        if args.for_seconds is not None:
+            _time.sleep(args.for_seconds)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print("ops server stopped")
     return 0
 
 
@@ -408,6 +515,9 @@ def main(argv=None) -> int:
     p.add_argument("--github", action="store_true",
                    help="render sentinel findings as ::warning:: "
                         "annotations")
+    p.add_argument("--slo", default=None, metavar="FILE",
+                   help="SLO objectives file for the error-budget "
+                        "section ('default' or omitted = built-ins)")
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("doctor", help="diagnose ledger + environment + "
@@ -421,7 +531,41 @@ def main(argv=None) -> int:
     p.add_argument("--warm-hit-threshold", type=float,
                    default=None,
                    help="minimum acceptable warm cache hit ratio")
+    p.add_argument("--slo", default=None, metavar="FILE",
+                   help="evaluate SLO error budgets as health checks "
+                        "('default' = built-in objectives); an "
+                        "exhausted budget fails --check")
     p.set_defaults(func=_cmd_doctor)
+
+    p = sub.add_parser("serve-ops",
+                       help="serve the live ops plane over HTTP "
+                            "(/metrics /health /ready /runs /profile)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (default 9178; 0 = ephemeral)")
+    p.add_argument("--ledger", default=None, metavar="FILE",
+                   help="seed the server with an existing JSONL run "
+                        "ledger")
+    p.add_argument("--slo", default=None, metavar="FILE",
+                   help="SLO objectives file ('default' or omitted = "
+                        "built-ins)")
+    p.add_argument("--persist", default=None, metavar="FILE",
+                   help="append every new run record to this JSONL "
+                        "ledger")
+    p.add_argument("--persist-max-bytes", type=int, default=None,
+                   metavar="N",
+                   help="rotate the persisted ledger at N bytes")
+    p.add_argument("--persist-keep", type=int, default=None,
+                   metavar="K",
+                   help="rotated segments to keep (default 4)")
+    p.add_argument("--warm-hit-threshold", type=float, default=None,
+                   help="minimum acceptable warm cache hit ratio for "
+                        "/health")
+    p.add_argument("--for-seconds", type=float, default=None,
+                   metavar="S",
+                   help="serve for S seconds then exit (default: "
+                        "until interrupted)")
+    p.set_defaults(func=_cmd_serve_ops)
 
     p = sub.add_parser("list", help="list codecs and datasets")
     p.set_defaults(func=_cmd_list)

@@ -217,6 +217,11 @@ class CuSZi:
 
     def _compress_traced(self, data: np.ndarray, root, cap
                          ) -> tuple[bytes, CompressionStats]:
+        if cap.run_id:
+            # the span trace and the ledger record describe the same run:
+            # stitch them (and any pool-worker spans merged later) under
+            # one trace id
+            root.set(trace_id=cap.trace_id, run_id=cap.run_id)
         data = validate_field(data)
         abs_eb = resolve_eb(data, self.eb, self.mode)
         quantizer = LinearQuantizer(self.radius, value_dtype=data.dtype)
@@ -328,6 +333,8 @@ class CuSZi:
         with recorder.capture("decompress", codec=self.name) as cap, \
                 telemetry.span("decompress", codec=self.name,
                                compressed_nbytes=len(blob)) as root:
+            if cap.run_id:
+                root.set(trace_id=cap.trace_id, run_id=cap.run_id)
             with telemetry.span("lossless", bytes_in=len(blob)) as sp, \
                     cap.stage("lossless"):
                 inner = unwrap_lossless(blob)

@@ -183,12 +183,16 @@ def run_batch(task, payloads: list, workers: int | str | None) -> list:
 
 
 def _merge_worker_trace(results: list, offset_s: float) -> None:
-    """Graft per-item worker spans back into the parent trace."""
+    """Graft per-item worker spans back into the parent trace, stamped
+    with the run's trace id so spans and ledger records stitch."""
     if not telemetry.enabled():
         return
+    trace_id = recorder.current_trace_id()
+    extra = {"trace_id": trace_id} if trace_id else {}
     for _, spans, pid, _aux in results:
         if spans:
-            telemetry.merge_spans(spans, offset_s=offset_s, worker_pid=pid)
+            telemetry.merge_spans(spans, offset_s=offset_s,
+                                  worker_pid=pid, **extra)
 
 
 def _merge_worker_aux(cap, results: list) -> None:
@@ -235,71 +239,78 @@ def _compress_slab_task(payload):
     """One pool task = one contiguous *group* of slabs.
 
     Grouping amortizes pickle/dispatch overhead over the batch and lets
-    each worker reuse its warm codec caches across its whole share.
+    each worker reuse its warm codec caches across its whole share. The
+    payload's trace context is adopted for the task, so every run record
+    the worker appends carries the parent run's ``trace_id``.
     """
-    start, slabs, codec, eb, kwargs, trace = payload
+    start, slabs, codec, eb, kwargs, trace, ctx = payload
     base = _worker_baseline()
     comp = get_compressor(codec, eb=eb, mode="abs", **kwargs)
-    if trace:
-        with telemetry.recording() as reg:
-            blobs = []
-            for i, slab in enumerate(slabs):
-                with telemetry.span("slab.append", index=start + i,
-                                    bytes_in=slab.nbytes) as sp:
-                    blob = comp.compress(slab)
-                    sp.set(bytes_out=len(blob))
-                blobs.append(blob)
-        return blobs, reg.spans, os.getpid(), _worker_aux(base)
-    telemetry.disable()
-    return [comp.compress(slab) for slab in slabs], None, os.getpid(), \
-        _worker_aux(base)
+    with recorder.trace_scope(ctx):
+        if trace:
+            with telemetry.recording() as reg:
+                blobs = []
+                for i, slab in enumerate(slabs):
+                    with telemetry.span("slab.append", index=start + i,
+                                        bytes_in=slab.nbytes) as sp:
+                        blob = comp.compress(slab)
+                        sp.set(bytes_out=len(blob))
+                    blobs.append(blob)
+            return blobs, reg.spans, os.getpid(), _worker_aux(base)
+        telemetry.disable()
+        return [comp.compress(slab) for slab in slabs], None, \
+            os.getpid(), _worker_aux(base)
 
 
 def _decompress_slab_task(payload):
-    start, blobs, trace = payload
+    start, blobs, trace, ctx = payload
     base = _worker_baseline()
-    if trace:
-        with telemetry.recording() as reg:
-            out = []
-            for i, blob in enumerate(blobs):
-                with telemetry.span("slab.read", index=start + i,
-                                    bytes_in=len(blob)) as sp:
-                    arr = decompress_any(blob)
-                    sp.set(bytes_out=arr.nbytes)
-                out.append(arr)
-        return out, reg.spans, os.getpid(), _worker_aux(base)
-    telemetry.disable()
-    return [decompress_any(blob) for blob in blobs], None, os.getpid(), \
-        _worker_aux(base)
+    with recorder.trace_scope(ctx):
+        if trace:
+            with telemetry.recording() as reg:
+                out = []
+                for i, blob in enumerate(blobs):
+                    with telemetry.span("slab.read", index=start + i,
+                                        bytes_in=len(blob)) as sp:
+                        arr = decompress_any(blob)
+                        sp.set(bytes_out=arr.nbytes)
+                    out.append(arr)
+            return out, reg.spans, os.getpid(), _worker_aux(base)
+        telemetry.disable()
+        return [decompress_any(blob) for blob in blobs], None, \
+            os.getpid(), _worker_aux(base)
 
 
 def _compress_field_task(payload):
-    index, data, codec, kwargs, trace = payload
+    index, data, codec, kwargs, trace, ctx = payload
     base = _worker_baseline()
-    if trace:
-        with telemetry.recording() as reg:
-            with telemetry.span("runtime.field", index=index, codec=codec,
-                                bytes_in=data.nbytes) as sp:
-                blob = get_compressor(codec, **kwargs).compress(data)
-                sp.set(bytes_out=len(blob))
-        return blob, reg.spans, os.getpid(), _worker_aux(base)
-    telemetry.disable()
-    return get_compressor(codec, **kwargs).compress(data), None, \
-        os.getpid(), _worker_aux(base)
+    with recorder.trace_scope(ctx):
+        if trace:
+            with telemetry.recording() as reg:
+                with telemetry.span("runtime.field", index=index,
+                                    codec=codec,
+                                    bytes_in=data.nbytes) as sp:
+                    blob = get_compressor(codec, **kwargs).compress(data)
+                    sp.set(bytes_out=len(blob))
+            return blob, reg.spans, os.getpid(), _worker_aux(base)
+        telemetry.disable()
+        return get_compressor(codec, **kwargs).compress(data), None, \
+            os.getpid(), _worker_aux(base)
 
 
 def _decompress_field_task(payload):
-    index, blob, trace = payload
+    index, blob, trace, ctx = payload
     base = _worker_baseline()
-    if trace:
-        with telemetry.recording() as reg:
-            with telemetry.span("runtime.field", index=index,
-                                bytes_in=len(blob)) as sp:
-                out = decompress_any(blob)
-                sp.set(bytes_out=out.nbytes)
-        return out, reg.spans, os.getpid(), _worker_aux(base)
-    telemetry.disable()
-    return decompress_any(blob), None, os.getpid(), _worker_aux(base)
+    with recorder.trace_scope(ctx):
+        if trace:
+            with telemetry.recording() as reg:
+                with telemetry.span("runtime.field", index=index,
+                                    bytes_in=len(blob)) as sp:
+                    out = decompress_any(blob)
+                    sp.set(bytes_out=out.nbytes)
+            return out, reg.spans, os.getpid(), _worker_aux(base)
+        telemetry.disable()
+        return decompress_any(blob), None, os.getpid(), _worker_aux(base)
 
 
 # -- parallel slab runtime --------------------------------------------------
@@ -353,8 +364,9 @@ def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
             telemetry.span("runtime.compress_slabs", n_slabs=len(slabs),
                            workers=workers, bytes_in=data.nbytes) as sp:
         offset = _trace_offset()
+        ctx = recorder.propagation_context()
         payloads = [(s, slabs[s:e], writer.codec, writer.eb,
-                     writer.codec_kwargs, trace)
+                     writer.codec_kwargs, trace, ctx)
                     for s, e in _chunk_bounds(len(slabs), workers)]
         try:
             results = _run_batch(_compress_slab_task, payloads, workers)
@@ -401,8 +413,9 @@ def parallel_decompress_slabs(stream: bytes, *,
             telemetry.span("runtime.decompress_slabs", n_slabs=len(reader),
                            workers=workers, bytes_in=len(stream)) as sp:
         offset = _trace_offset()
+        ctx = recorder.propagation_context()
         blobs = [reader.slab_bytes(i) for i in range(len(reader))]
-        payloads = [(s, blobs[s:e], trace)
+        payloads = [(s, blobs[s:e], trace, ctx)
                     for s, e in _chunk_bounds(len(blobs), workers)]
         try:
             results = _run_batch(_decompress_slab_task, payloads, workers)
@@ -465,7 +478,8 @@ def map_compress(fields, codec: str = "cuszi", *,
         else:
             trace = telemetry.enabled()
             offset = _trace_offset()
-            payloads = [(i, data, item_codec, kwargs, trace)
+            ctx = recorder.propagation_context()
+            payloads = [(i, data, item_codec, kwargs, trace, ctx)
                         for i, (data, (item_codec, kwargs))
                         in enumerate(zip(fields, configs))]
             try:
@@ -512,7 +526,9 @@ def map_decompress(blobs, *, workers: int | str | None = None
         else:
             trace = telemetry.enabled()
             offset = _trace_offset()
-            payloads = [(i, blob, trace) for i, blob in enumerate(blobs)]
+            ctx = recorder.propagation_context()
+            payloads = [(i, blob, trace, ctx)
+                        for i, blob in enumerate(blobs)]
             try:
                 results = _run_batch(_decompress_field_task, payloads,
                                      workers)

@@ -19,7 +19,11 @@ gate CI via ``repro doctor --check``:
   path: ``size_floor`` is expected (informational), ``spawn_failure``
   means worker processes could not be (re)spawned in that environment;
 - **quality audits** — sampled error-bound violations are always
-  anomalies.
+  anomalies;
+- **SLO budgets** (when objectives are supplied, e.g. ``repro doctor
+  --slo objectives.json``) — an exhausted error budget
+  (:mod:`repro.telemetry.slo`) is a gating anomaly; an elevated burn
+  rate on a budget that still has slack warns.
 """
 
 from __future__ import annotations
@@ -129,8 +133,15 @@ def _counter_total(records: list[RunRecord], name: str) -> float:
 
 
 def diagnose(records: list[RunRecord],
-             warm_hit_threshold: float = WARM_HIT_THRESHOLD) -> Diagnosis:
-    """Run every structural health check over a list of run records."""
+             warm_hit_threshold: float = WARM_HIT_THRESHOLD,
+             slos=None) -> Diagnosis:
+    """Run every structural health check over a list of run records.
+
+    ``slos`` optionally adds one check per
+    :class:`repro.telemetry.slo.SLOSpec`: FAIL when its error budget is
+    exhausted, WARN (non-gating) when the budget holds but the recent
+    burn rate exceeds 1x.
+    """
     diag = Diagnosis(n_records=len(records))
     checks = diag.checks
 
@@ -200,4 +211,25 @@ def diagnose(records: list[RunRecord],
             "worker memory merge", peak > 0,
             f"{len(workers)} pooled run(s), worker peak RSS "
             f"{peak / 1024:.1f} MiB", gating=False))
+
+    if slos:
+        from repro.telemetry import slo as slomod
+        for status in slomod.evaluate(records, slos):
+            name = f"slo {status.spec.name}"
+            detail = (f"{status.violations}/{status.n} violation(s), "
+                      f"budget used {status.budget_consumed:.0%}, "
+                      f"burn {status.burn_rate:.2f}x")
+            if not status.n:
+                checks.append(Check(name, True,
+                                    "no judgeable runs in window",
+                                    gating=False))
+            elif status.exhausted:
+                checks.append(Check(name, False,
+                                    detail + " — budget exhausted"))
+            elif status.burn_rate > 1.0:
+                checks.append(Check(name, False,
+                                    detail + " — burning over budget",
+                                    gating=False))
+            else:
+                checks.append(Check(name, True, detail))
     return diag

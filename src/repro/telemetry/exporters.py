@@ -21,7 +21,8 @@ import math
 from repro.telemetry import Registry, Span
 
 __all__ = ["to_jsonl", "from_jsonl", "render_tree", "to_prometheus",
-           "stage_breakdown", "cache_metrics_lines"]
+           "stage_breakdown", "cache_metrics_lines", "escape_label",
+           "build_info_lines"]
 
 _SCHEMA_VERSION = 1
 
@@ -150,6 +151,32 @@ def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
+def escape_label(value) -> str:
+    """Escape a label *value* per the Prometheus exposition format:
+    backslash, double quote, and newline must be backslash-escaped
+    (dataset/codec names are user-controlled and may contain any of
+    them)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def build_info_lines() -> list[str]:
+    """The conventional ``<name>_build_info`` identity gauge: constant 1
+    with the package version and Python runtime as labels, so dashboards
+    can join every other series to what produced it."""
+    import platform
+
+    from repro import __version__
+    labels = (f'version="{escape_label(__version__)}",'
+              f'python="{escape_label(platform.python_version())}",'
+              f'implementation='
+              f'"{escape_label(platform.python_implementation())}"')
+    return ["# HELP repro_build_info package and runtime identity "
+            "(constant 1)",
+            "# TYPE repro_build_info gauge",
+            f"repro_build_info{{{labels}}} 1"]
+
+
 def _histogram_buckets(values: list[float]) -> list[float]:
     """Log-spaced bucket upper bounds covering the observed range.
 
@@ -179,7 +206,7 @@ def to_prometheus(registry: Registry, include_caches: bool = True) -> str:
     cache gauges (:func:`repro.telemetry.caches.snapshot`) — one labeled
     series per registered cache, uniform across all cache families.
     """
-    lines: list[str] = []
+    lines: list[str] = build_info_lines()
     for name, value in sorted(registry.counters.items()):
         metric = f"repro_{_sanitize(name)}_total"
         lines.append(f"# HELP {metric} telemetry counter "
@@ -207,9 +234,9 @@ def to_prometheus(registry: Registry, include_caches: bool = True) -> str:
         lines.append("# TYPE repro_span_duration_seconds summary")
         for name, (count, total) in sorted(agg.items()):
             lines.append(f'repro_span_duration_seconds_sum'
-                         f'{{span="{name}"}} {total:g}')
+                         f'{{span="{escape_label(name)}"}} {total:g}')
             lines.append(f'repro_span_duration_seconds_count'
-                         f'{{span="{name}"}} {count}')
+                         f'{{span="{escape_label(name)}"}} {count}')
     if include_caches:
         lines.extend(cache_metrics_lines())
     return "\n".join(lines) + "\n"
@@ -246,5 +273,6 @@ def cache_metrics_lines() -> list[str]:
         lines.append(f"# TYPE {metric} {kind}")
         for name in sorted(snap):
             val = snap[name].get(fld, 0)
-            lines.append(f'{metric}{{cache="{name}"}} {val:g}')
+            lines.append(f'{metric}{{cache="{escape_label(name)}"}} '
+                         f'{val:g}')
     return lines

@@ -1,0 +1,491 @@
+"""Live ops plane: an embedded HTTP server over the telemetry stack.
+
+Every observability surface this repo grew — the span registry, the
+unified cache registry, the flight-recorder ring/ledger, the doctor, the
+SLO engine — was file- or CLI-shaped: you could inspect a run after it
+finished, but nothing could *watch* the process while a workload runs.
+This module is the missing live plane: a small, stdlib-only asyncio HTTP
+server (``repro serve-ops`` on the command line, or
+:func:`start_ops_server` embedded in any program) exposing
+
+``/metrics``
+    Prometheus exposition text: the span registry's counters/histograms
+    and per-span summaries, the uniform ``repro_cache_*`` gauges,
+    ``repro_build_info``, the ``repro_slo_*`` error-budget series
+    evaluated live over the record window, and the server's own request
+    counters. Point a Prometheus scraper at it during a workload.
+
+``/health`` and ``/ready``
+    ``/health`` runs the full ``repro doctor`` structural diagnosis
+    (plus SLO budget checks) over the live records on every request and
+    answers 200/503 — the same verdict ``repro doctor --check`` gives in
+    CI, as a load-balancer probe. ``/ready`` answers whether this server
+    can serve traffic at all (started, not draining).
+
+``/runs``
+    The ledger tail as JSON, and ``/runs/stream`` as a **Server-Sent
+    Events** stream pushing each new :class:`RunRecord` the moment its
+    capture closes (the recorder's subscriber hook), with optional
+    ``?replay=N`` catch-up for late joiners.
+
+``/profile``
+    An on-demand sampling profiler of the running process: samples every
+    thread's stack for ``?seconds=``, returns collapsed flamegraph-style
+    stacks — "why is the worker slow *right now*" without restarting
+    anything.
+
+The server runs its own event loop on a daemon thread, so embedding it
+costs the host program nothing on the hot path: records reach SSE
+clients through :func:`repro.telemetry.recorder.subscribe` (a dict
+append per run) and every endpoint computes its answer on demand from
+shared snapshots. Optionally each record is also persisted to a JSONL
+ledger with size-based rotation, so a long-lived ops host keeps a
+bounded on-disk history. See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import time
+from urllib.parse import parse_qs, urlsplit
+
+from repro import telemetry
+from repro.telemetry import doctor, exporters, recorder
+from repro.telemetry import slo as slomod
+
+__all__ = ["OpsServer", "start_ops_server", "DEFAULT_PORT",
+           "MAX_PROFILE_SECONDS"]
+
+#: default TCP port (`repro` on a phone keypad would be nonsense; this
+#: is simply an unassigned high port)
+DEFAULT_PORT = 9178
+
+#: hard cap on one /profile request's sampling duration
+MAX_PROFILE_SECONDS = 30.0
+
+_PROFILE_DEFAULT_SECONDS = 1.0
+_PROFILE_DEFAULT_HZ = 97          # off the 100 Hz beat of periodic work
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: SSE queue depth per client; a stalled consumer drops records rather
+#: than stalling the recorder or growing without bound
+_SSE_QUEUE_DEPTH = 256
+
+
+class OpsServer:
+    """The live ops HTTP server; use :func:`start_ops_server`.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address. ``port=0`` picks a free port (see :attr:`port`
+        after :meth:`start`).
+    slos:
+        Objectives for ``/metrics`` (``repro_slo_*``) and the
+        ``/health`` budget checks; default
+        :data:`repro.telemetry.slo.DEFAULT_SLOS`.
+    base_records:
+        Records loaded from an existing ledger, served (and diagnosed)
+        ahead of the live ring — ``repro serve-ops --ledger``.
+    persist_path, persist_max_bytes, persist_keep:
+        When set, every new record is appended to this JSONL ledger,
+        rotated at ``persist_max_bytes`` keeping ``persist_keep``
+        segments (:func:`repro.telemetry.recorder.write_ledger`).
+    warm_hit_threshold:
+        Forwarded to the doctor diagnosis behind ``/health``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 *, slos=None, base_records=None,
+                 persist_path: str | None = None,
+                 persist_max_bytes: int | None = None,
+                 persist_keep: int = recorder.DEFAULT_LEDGER_KEEP,
+                 warm_hit_threshold: float | None = None):
+        self.host = host
+        self.port = port
+        self._slos = tuple(slos) if slos is not None \
+            else slomod.DEFAULT_SLOS
+        self._base = list(base_records or [])
+        self._persist_path = persist_path
+        self._persist_max_bytes = persist_max_bytes
+        self._persist_keep = persist_keep
+        self._warm_hit_threshold = warm_hit_threshold
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread_id: int | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._boot_error: BaseException | None = None
+        self._stop: asyncio.Event | None = None
+        self._draining = False
+        self._started_at = 0.0
+        self._sub_token: int | None = None
+        self._clients: set[asyncio.Queue] = set()
+        self._requests: dict[str, int] = {}
+        self._sse_sent = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, timeout: float = 10.0) -> "OpsServer":
+        """Boot the server on a daemon thread; returns once it is bound
+        (raises whatever the bind raised, e.g. address-in-use)."""
+        if self._thread is not None:
+            raise RuntimeError("ops server already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-opsd", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("ops server did not come up in time")
+        if self._boot_error is not None:
+            self._thread.join(timeout)
+            raise self._boot_error
+        self._sub_token = recorder.subscribe(self._on_record)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain and shut the server down (idempotent)."""
+        if self._sub_token is not None:
+            recorder.unsubscribe(self._sub_token)
+            self._sub_token = None
+        self._draining = True
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:        # loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - reported to start()
+            self._boot_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._loop_thread_id = threading.get_ident()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle_conn, self.host,
+                                            self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            for q in list(self._clients):
+                self._offer(q, None)          # wake SSE writers to exit
+        # asyncio.run cancels the remaining per-connection tasks
+
+    # -- record fan-out ------------------------------------------------------
+
+    def _on_record(self, rec) -> None:
+        """recorder subscriber: runs on whichever thread closed the run."""
+        if self._persist_path is not None:
+            try:
+                recorder.write_ledger(
+                    self._persist_path, [rec], append=True,
+                    max_bytes=self._persist_max_bytes,
+                    keep=self._persist_keep)
+            except OSError:    # pragma: no cover - disk full/permission
+                pass           # persistence must never fail the run
+        loop = self._loop
+        if loop is None or loop.is_closed() or self._draining:
+            return
+        try:
+            loop.call_soon_threadsafe(self._broadcast, rec.to_dict())
+        except RuntimeError:   # pragma: no cover - loop tearing down
+            pass
+
+    def _broadcast(self, obj: dict) -> None:
+        for q in list(self._clients):
+            self._offer(q, obj)
+
+    @staticmethod
+    def _offer(q: asyncio.Queue, item) -> None:
+        try:
+            q.put_nowait(item)
+        except asyncio.QueueFull:
+            pass               # slow consumer: drop, never block
+
+    # -- shared state --------------------------------------------------------
+
+    def _records(self) -> list:
+        return self._base + recorder.records()
+
+    def _diagnose(self):
+        threshold = (doctor.WARM_HIT_THRESHOLD
+                     if self._warm_hit_threshold is None
+                     else self._warm_hit_threshold)
+        return doctor.diagnose(self._records(),
+                               warm_hit_threshold=threshold,
+                               slos=self._slos)
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        try:
+            await self._handle_request(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - one bad request must
+            try:                  # not take the server down
+                await self._respond(writer, 500, "text/plain",
+                                    f"internal error: {exc}\n")
+            except Exception:     # pragma: no cover - socket gone
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:     # pragma: no cover - already closed
+                pass
+
+    async def _handle_request(self, reader, writer) -> None:
+        request = await asyncio.wait_for(reader.readline(), 30.0)
+        parts = request.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return
+        method, target = parts[0], parts[1]
+        # drain headers (bounded) — we serve GET only, no bodies
+        for _ in range(200):
+            line = await asyncio.wait_for(reader.readline(), 30.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+        self._requests[path] = self._requests.get(path, 0) + 1
+        if method != "GET":
+            await self._respond(writer, 405, "text/plain",
+                                "GET only\n")
+            return
+        if path == "/metrics":
+            await self._respond(
+                writer, 200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                self._metrics_text())
+        elif path == "/health":
+            await self._serve_health(writer)
+        elif path == "/ready":
+            await self._serve_ready(writer)
+        elif path == "/runs":
+            await self._serve_runs(writer, query)
+        elif path == "/runs/stream":
+            await self._serve_sse(writer, query)
+        elif path == "/slo":
+            statuses = slomod.evaluate(self._records(), self._slos)
+            await self._respond_json(
+                writer, 200, {"slos": [st.to_dict() for st in statuses]})
+        elif path == "/profile":
+            await self._serve_profile(writer, query)
+        elif path == "/":
+            await self._respond_json(writer, 200, {
+                "service": "repro.telemetry.opsd",
+                "endpoints": ["/metrics", "/health", "/ready", "/runs",
+                              "/runs/stream", "/slo", "/profile"]})
+        else:
+            await self._respond(writer, 404, "text/plain",
+                                f"no route {path}\n")
+
+    async def _respond(self, writer, status: int, ctype: str,
+                       body: str, extra: str = "") -> None:
+        payload = body.encode()
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, '?')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n{extra}\r\n")
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    async def _respond_json(self, writer, status: int, obj) -> None:
+        await self._respond(writer, status, "application/json",
+                            json.dumps(obj, default=str) + "\n")
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _metrics_text(self) -> str:
+        lines = [exporters.to_prometheus(
+            telemetry.get_registry()).rstrip("\n")]
+        statuses = slomod.evaluate(self._records(), self._slos)
+        lines.extend(slomod.metrics_lines(statuses))
+        lines.append("# HELP repro_ops_requests_total ops-plane HTTP "
+                     "requests served")
+        lines.append("# TYPE repro_ops_requests_total counter")
+        for path in sorted(self._requests):
+            lines.append(
+                f'repro_ops_requests_total{{endpoint='
+                f'"{exporters.escape_label(path)}"}} '
+                f"{self._requests[path]}")
+        lines.append("# HELP repro_ops_uptime_seconds seconds since the "
+                     "ops server booted")
+        lines.append("# TYPE repro_ops_uptime_seconds gauge")
+        lines.append(f"repro_ops_uptime_seconds "
+                     f"{time.time() - self._started_at:g}")
+        lines.append("# HELP repro_ops_sse_clients connected /runs/stream "
+                     "consumers")
+        lines.append("# TYPE repro_ops_sse_clients gauge")
+        lines.append(f"repro_ops_sse_clients {len(self._clients)}")
+        lines.append("# HELP repro_ops_ledger_records run records "
+                     "visible to this server (base + live ring)")
+        lines.append("# TYPE repro_ops_ledger_records gauge")
+        lines.append(f"repro_ops_ledger_records {len(self._records())}")
+        return "\n".join(lines) + "\n"
+
+    async def _serve_health(self, writer) -> None:
+        diag = self._diagnose()
+        body = {
+            "status": "healthy" if diag.healthy else "unhealthy",
+            "n_records": diag.n_records,
+            "anomalies": [c.name for c in diag.anomalies],
+            "checks": [{"name": c.name, "ok": c.ok, "gating": c.gating,
+                        "detail": c.detail} for c in diag.checks],
+        }
+        await self._respond_json(writer, 200 if diag.healthy else 503,
+                                 body)
+
+    async def _serve_ready(self, writer) -> None:
+        ready = not self._draining
+        body = {
+            "status": "ready" if ready else "draining",
+            "uptime_s": time.time() - self._started_at,
+            "n_records": len(self._records()),
+            "sse_clients": len(self._clients),
+            "recorder_enabled": recorder.enabled(),
+        }
+        await self._respond_json(writer, 200 if ready else 503, body)
+
+    async def _serve_runs(self, writer, query: dict) -> None:
+        try:
+            n = max(1, int(query.get("n", 50)))
+        except ValueError:
+            await self._respond(writer, 400, "text/plain",
+                                "n must be an integer\n")
+            return
+        recs = self._records()
+        await self._respond_json(writer, 200, {
+            "n_total": len(recs),
+            "records": [r.to_dict() for r in recs[-n:]],
+        })
+
+    async def _serve_sse(self, writer, query: dict) -> None:
+        try:
+            replay = max(0, int(query.get("replay", 0)))
+        except ValueError:
+            await self._respond(writer, 400, "text/plain",
+                                "replay must be an integer\n")
+            return
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode("latin-1"))
+        writer.write(b": repro ops run stream\n\n")
+        await writer.drain()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=_SSE_QUEUE_DEPTH)
+        if replay:
+            for rec in self._records()[-replay:]:
+                self._offer(queue, rec.to_dict())
+        self._clients.add(queue)
+        try:
+            while not self._draining:
+                try:
+                    item = await asyncio.wait_for(queue.get(), 15.0)
+                except asyncio.TimeoutError:
+                    writer.write(b": keep-alive\n\n")
+                    await writer.drain()
+                    continue
+                if item is None:          # shutdown sentinel
+                    break
+                data = json.dumps(item, default=str)
+                writer.write(f"id: {item.get('seq', 0)}\n"
+                             f"event: run\ndata: {data}\n\n".encode())
+                await writer.drain()
+                self._sse_sent += 1
+        finally:
+            self._clients.discard(queue)
+
+    async def _serve_profile(self, writer, query: dict) -> None:
+        try:
+            seconds = float(query.get("seconds",
+                                      _PROFILE_DEFAULT_SECONDS))
+            hz = float(query.get("hz", _PROFILE_DEFAULT_HZ))
+        except ValueError:
+            await self._respond(writer, 400, "text/plain",
+                                "seconds/hz must be numbers\n")
+            return
+        if not (0 < seconds <= MAX_PROFILE_SECONDS) or not (0 < hz <= 1000):
+            await self._respond(
+                writer, 400, "text/plain",
+                f"need 0 < seconds <= {MAX_PROFILE_SECONDS:g} and "
+                f"0 < hz <= 1000\n")
+            return
+        text = await self._sample_profile(seconds, hz)
+        await self._respond(writer, 200, "text/plain; charset=utf-8",
+                            text)
+
+    async def _sample_profile(self, seconds: float, hz: float) -> str:
+        """Sample every thread's stack from the event loop.
+
+        The sampler itself runs on the loop thread (its own frames are
+        excluded), sleeping cooperatively between samples, so the server
+        stays responsive while profiling. Output is the collapsed
+        flamegraph format: ``outer;...;inner count`` per distinct stack.
+        """
+        interval = 1.0 / hz
+        counts: dict[tuple, int] = {}
+        n_samples = 0
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + seconds
+        own = self._loop_thread_id
+        while loop.time() < deadline:
+            for tid, frame in sys._current_frames().items():
+                if tid == own:
+                    continue
+                stack = []
+                while frame is not None:
+                    code = frame.f_code
+                    stack.append(f"{code.co_name} "
+                                 f"({code.co_filename.rsplit('/', 1)[-1]}"
+                                 f":{frame.f_lineno})")
+                    frame = frame.f_back
+                key = tuple(reversed(stack))   # outermost first
+                counts[key] = counts.get(key, 0) + 1
+            n_samples += 1
+            await asyncio.sleep(interval)
+        lines = [f"# sampling profile: {n_samples} sample(s) over "
+                 f"{seconds:g}s at {hz:g} Hz, "
+                 f"{len(counts)} distinct stack(s) "
+                 f"(ops-server thread excluded)"]
+        for key, count in sorted(counts.items(),
+                                 key=lambda kv: -kv[1])[:200]:
+            lines.append(f"{';'.join(key)} {count}")
+        return "\n".join(lines) + "\n"
+
+
+def start_ops_server(host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                     **kwargs) -> OpsServer:
+    """Create and start an :class:`OpsServer`; returns it once bound.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.port``). Keyword arguments are forwarded to
+    :class:`OpsServer`. Call ``server.stop()`` when done — or don't: the
+    loop runs on a daemon thread and dies with the process.
+    """
+    return OpsServer(host, port, **kwargs).start()

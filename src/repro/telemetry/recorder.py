@@ -49,13 +49,18 @@ __all__ = ["RunRecord", "RunCapture", "capture", "current", "annotate",
            "count", "suppressed", "records", "clear", "set_capacity",
            "capacity", "enabled", "enable", "disable",
            "to_jsonl", "from_jsonl", "write_ledger", "read_ledger",
-           "worker_baseline", "worker_aux", "aggregate",
-           "model_deviation", "DEFAULT_CAPACITY"]
+           "rotate_ledger", "worker_baseline", "worker_aux", "aggregate",
+           "model_deviation", "subscribe", "unsubscribe",
+           "mint_id", "propagation_context", "trace_scope",
+           "current_trace_id", "DEFAULT_CAPACITY", "DEFAULT_LEDGER_KEEP"]
 
 #: run records kept in the ring before the oldest is dropped
 DEFAULT_CAPACITY = 1024
 
-_LEDGER_VERSION = 1
+#: rotated ledger segments kept next to the live file (``path.1``..``.N``)
+DEFAULT_LEDGER_KEEP = 4
+
+_LEDGER_VERSION = 2
 
 #: worker-aux cache counters folded into the parent record
 _WORKER_CACHE_KEYS = ("hits", "misses", "evictions")
@@ -89,6 +94,9 @@ class RunRecord:
     counters: dict = field(default_factory=dict)
     memory: dict = field(default_factory=dict)      # peak_rss_kb, ...
     worker: dict = field(default_factory=dict)      # merged worker stats
+    trace_id: str | None = None   # one id per end-to-end request tree
+    run_id: str | None = None     # this record's own id within the trace
+    parent_run_id: str | None = None
 
     @property
     def bytes_in(self) -> int:
@@ -117,12 +125,21 @@ class RunRecord:
         return self.raw_bytes / self.wall_s / 1e6 if self.wall_s else 0.0
 
     def to_dict(self) -> dict:
-        return {"v": _LEDGER_VERSION, "seq": self.seq, "kind": self.kind,
-                "ts": self.ts, "wall_s": self.wall_s,
-                "status": self.status, "codec": self.codec,
-                "stages": self.stages, "attrs": self.attrs,
-                "caches": self.caches, "counters": self.counters,
-                "memory": self.memory, "worker": self.worker}
+        out = {"v": _LEDGER_VERSION, "seq": self.seq, "kind": self.kind,
+               "ts": self.ts, "wall_s": self.wall_s,
+               "status": self.status, "codec": self.codec,
+               "stages": self.stages, "attrs": self.attrs,
+               "caches": self.caches, "counters": self.counters,
+               "memory": self.memory, "worker": self.worker}
+        # trace lineage only when present: version-1 ledgers stay parseable
+        # and records predating the ops plane stay byte-compact
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.run_id:
+            out["run_id"] = self.run_id
+        if self.parent_run_id:
+            out["parent_run_id"] = self.parent_run_id
+        return out
 
     @classmethod
     def from_dict(cls, obj: dict) -> "RunRecord":
@@ -137,7 +154,10 @@ class RunRecord:
                    caches=dict(obj.get("caches", {})),
                    counters=dict(obj.get("counters", {})),
                    memory=dict(obj.get("memory", {})),
-                   worker=dict(obj.get("worker", {})))
+                   worker=dict(obj.get("worker", {})),
+                   trace_id=obj.get("trace_id"),
+                   run_id=obj.get("run_id"),
+                   parent_run_id=obj.get("parent_run_id"))
 
 
 # -- module state -----------------------------------------------------------
@@ -148,6 +168,34 @@ _lock = threading.Lock()
 _ring: deque = deque(maxlen=DEFAULT_CAPACITY)
 _seq = 0
 _tls = threading.local()
+_subscribers: dict[int, object] = {}
+_sub_token = 0
+
+
+def _reset_after_fork() -> None:
+    """Start a forked child with a clean per-process recorder.
+
+    A fork-started pool worker inherits the parent's memory image:
+    captures open in the parent sit on the child's thread-local stack
+    (they will never exit there, and would wrongly parent every worker
+    capture), the ring holds parent records the worker must not re-ship,
+    and subscribers (an ops server's SSE fan-out, a ledger persister)
+    reference event loops and files that only exist in the parent. Trace
+    identity in a worker comes exclusively from the propagated payload
+    context (:func:`trace_scope`), so everything inherited is dropped.
+    """
+    global _lock, _seq
+    _lock = threading.Lock()      # parent may have held it mid-fork
+    _ring.clear()
+    _seq = 0
+    _subscribers.clear()
+    _tls.stack = []
+    _tls.trace_ctx = None
+    _tls.suppress = 0
+
+
+if hasattr(os, "register_at_fork"):   # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=_reset_after_fork)
 
 
 def _stack() -> list:
@@ -219,6 +267,14 @@ def clear() -> None:
 def _append(rec: RunRecord) -> None:
     with _lock:
         _ring.append(rec)
+        subs = list(_subscribers.values())
+    # notify outside the lock: a slow subscriber (an SSE fan-out, a
+    # ledger persister) must never stall the recording thread's ring
+    for fn in subs:
+        try:
+            fn(rec)
+        except Exception:       # pragma: no cover - defensive: a broken
+            pass                # subscriber must not fail the run
 
 
 def _alloc_seq() -> int:
@@ -226,6 +282,77 @@ def _alloc_seq() -> int:
     with _lock:
         _seq += 1
         return _seq
+
+
+def subscribe(fn) -> int:
+    """Call ``fn(record)`` for every record appended to the ring.
+
+    Returns a token for :func:`unsubscribe`. Callbacks run on whichever
+    thread closed the run capture; they must be fast and must not raise
+    (exceptions are swallowed). This is the live-ops hook: the ops
+    server's SSE stream and ledger persister attach here.
+    """
+    global _sub_token
+    with _lock:
+        _sub_token += 1
+        _subscribers[_sub_token] = fn
+        return _sub_token
+
+
+def unsubscribe(token: int) -> None:
+    """Detach a subscriber registered with :func:`subscribe`."""
+    with _lock:
+        _subscribers.pop(token, None)
+
+
+# -- trace context -----------------------------------------------------------
+
+def mint_id() -> str:
+    """A fresh 64-bit hex trace/run id."""
+    return os.urandom(8).hex()
+
+
+def current_trace_id() -> str | None:
+    """The trace id of this thread's innermost open capture (or the
+    foreign context installed by :func:`trace_scope`), if any."""
+    cap = current()
+    if cap is not None:
+        return cap.trace_id
+    ctx = getattr(_tls, "trace_ctx", None)
+    return ctx.get("trace_id") if ctx else None
+
+
+def propagation_context() -> dict | None:
+    """The ``{"trace_id", "run_id"}`` pair to ship across a process (or
+    task) boundary so remote captures stitch under this trace.
+
+    Returns the innermost open capture's identity, the foreign context
+    installed by :func:`trace_scope` when no capture is open, or ``None``
+    outside any traced run.
+    """
+    cap = current()
+    if cap is not None:
+        return {"trace_id": cap.trace_id, "run_id": cap.run_id}
+    ctx = getattr(_tls, "trace_ctx", None)
+    return dict(ctx) if ctx else None
+
+
+@contextmanager
+def trace_scope(ctx: dict | None):
+    """Adopt a propagated trace context for the ``with`` body.
+
+    Pool workers wrap their task in this so every capture they open
+    inherits the parent's ``trace_id`` (and records the parent capture's
+    ``run_id`` as ``parent_run_id``). ``None`` is accepted and means "no
+    inherited context" — callers can pass a payload field through
+    unconditionally.
+    """
+    prev = getattr(_tls, "trace_ctx", None)
+    _tls.trace_ctx = dict(ctx) if ctx else None
+    try:
+        yield
+    finally:
+        _tls.trace_ctx = prev
 
 
 # -- capture ----------------------------------------------------------------
@@ -249,6 +376,10 @@ class _NullCapture:
     """Shared do-nothing capture returned while the recorder is off."""
 
     __slots__ = ()
+
+    trace_id = None          # class attrs: the no-op carries no lineage
+    run_id = None
+    parent_run_id = None
 
     def stage(self, name: str) -> _NullStage:
         return _NULL_STAGE
@@ -303,7 +434,8 @@ class RunCapture:
     """
 
     __slots__ = ("kind", "_attrs", "_stages", "_counters", "_worker",
-                 "_pids", "_t0", "_snap0")
+                 "_pids", "_t0", "_snap0", "trace_id", "run_id",
+                 "parent_run_id")
 
     def __init__(self, kind: str, **attrs):
         self.kind = kind
@@ -312,6 +444,9 @@ class RunCapture:
         self._counters: dict[str, float] = {}
         self._worker: dict[str, float] = {}
         self._pids: set[int] = set()
+        self.trace_id: str | None = None    # resolved on __enter__
+        self.run_id: str | None = None
+        self.parent_run_id: str | None = None
 
     def stage(self, name: str) -> _Stage:
         """Time one top-level stage (re-entry accumulates)."""
@@ -329,7 +464,10 @@ class RunCapture:
 
     def merge_worker(self, aux: dict | None) -> "RunCapture":
         """Fold one worker task's aux stats (see :func:`worker_aux`)
-        into this record: cache counters sum, memory peaks take max."""
+        into this record: cache counters sum, memory peaks take max, and
+        the worker's own run records — shipped across the process
+        boundary because worker rings die with the worker — land in this
+        ring ahead of the parent record, stitched by ``trace_id``."""
         if not aux:
             return self
         w = self._worker
@@ -343,10 +481,29 @@ class RunCapture:
                 w[f"cache_{key}"] = w.get(f"cache_{key}", 0) + int(wc[key])
         if aux.get("pid"):
             self._pids.add(int(aux["pid"]))
+        for obj in aux.get("records") or ():
+            rec = RunRecord.from_dict(obj)
+            rec.seq = _alloc_seq()       # worker seqs restart per process
+            if aux.get("pid"):
+                rec.attrs.setdefault("worker_pid", int(aux["pid"]))
+            _append(rec)
         return self
 
     def __enter__(self) -> "RunCapture":
-        _stack().append(self)
+        stack = _stack()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            self.trace_id = parent.trace_id
+            self.parent_run_id = parent.run_id
+        else:
+            ctx = getattr(_tls, "trace_ctx", None)
+            if ctx:
+                self.trace_id = ctx.get("trace_id") or mint_id()
+                self.parent_run_id = ctx.get("run_id")
+            else:
+                self.trace_id = mint_id()
+        self.run_id = mint_id()
+        stack.append(self)
         self._snap0 = caches.snapshot()
         self._t0 = time.perf_counter()
         return self
@@ -372,7 +529,9 @@ class RunCapture:
             stages=self._stages, attrs=self._attrs,
             caches={name: d for name, d in delta.items()
                     if d["lookups"] or d["evictions"]},
-            counters=self._counters, memory=memory, worker=worker)
+            counters=self._counters, memory=memory, worker=worker,
+            trace_id=self.trace_id, run_id=self.run_id,
+            parent_run_id=self.parent_run_id)
         _append(rec)
         return False
 
@@ -412,21 +571,31 @@ def count(name: str, value: float = 1.0) -> None:
 # -- worker-process stat propagation ----------------------------------------
 
 def worker_baseline() -> dict[str, int]:
-    """Cache-counter totals at worker-task start (cheap, one small dict);
-    pass the result to :func:`worker_aux` at task end."""
-    return caches.snapshot_totals()
+    """Cache-counter totals plus the ring's sequence watermark at
+    worker-task start (cheap, one small dict); pass the result to
+    :func:`worker_aux` at task end."""
+    base = caches.snapshot_totals()
+    base["_seq"] = _seq
+    return base
 
 
 def worker_aux(baseline: dict[str, int] | None = None) -> dict:
     """Aux stats a pool worker ships back with its task result: its pid,
-    peak-RSS / tracemalloc high-water marks, and cache-counter deltas
-    since ``baseline``. Merged into the parent record via
-    :meth:`RunCapture.merge_worker`."""
+    peak-RSS / tracemalloc high-water marks, cache-counter deltas since
+    ``baseline``, and — so worker ledger entries survive the process
+    boundary and stitch under the parent trace — every run record this
+    worker appended past the baseline's sequence watermark. Merged into
+    the parent record via :meth:`RunCapture.merge_worker`."""
     now = caches.snapshot_totals()
     base = baseline or {}
     aux = {"pid": os.getpid(), "peak_rss_kb": _peak_rss_kb(),
            "caches": {k: now.get(k, 0) - base.get(k, 0)
                       for k in _WORKER_CACHE_KEYS}}
+    if baseline is not None:
+        since = int(base.get("_seq", 0))
+        shipped = [r.to_dict() for r in records() if r.seq > since]
+        if shipped:
+            aux["records"] = shipped
     if tracemalloc.is_tracing():  # pragma: no cover - opt-in profiling
         aux["tracemalloc_peak_kb"] = \
             tracemalloc.get_traced_memory()[1] // 1024
@@ -459,23 +628,74 @@ def from_jsonl(text: str) -> list[RunRecord]:
     return out
 
 
+def rotate_ledger(path: str, keep: int = DEFAULT_LEDGER_KEEP) -> None:
+    """Rotate a ledger file: ``path`` becomes ``path.1``, the previous
+    ``path.1`` becomes ``path.2``, ..., and segments past ``keep`` are
+    deleted. Missing files are skipped; ``path`` itself is left absent.
+    """
+    if keep < 1:
+        raise ValueError(f"ledger keep must be >= 1, got {keep}")
+    oldest = f"{path}.{keep}"
+    if os.path.exists(oldest):
+        os.remove(oldest)
+    for i in range(keep - 1, 0, -1):
+        seg = f"{path}.{i}"
+        if os.path.exists(seg):
+            os.replace(seg, f"{path}.{i + 1}")
+    if os.path.exists(path):
+        os.replace(path, f"{path}.1")
+
+
 def write_ledger(path: str, recs: list[RunRecord] | None = None, *,
-                 append: bool = False) -> int:
+                 append: bool = False, max_bytes: int | None = None,
+                 keep: int = DEFAULT_LEDGER_KEEP) -> int:
     """Persist records (default: the ring) to a JSONL ledger file.
 
     Returns the number of records written. ``append=True`` adds to an
     existing ledger (long-running services rotating the ring to disk).
+    ``max_bytes`` bounds on-disk growth: when the live file has already
+    reached the limit the write first rotates it away
+    (:func:`rotate_ledger`, keeping the last ``keep`` segments), so an
+    always-on ops host holds at most ``(keep + 1) * max_bytes`` or so of
+    ledger instead of an unboundedly growing file.
     """
     recs = records() if recs is None else recs
+    if max_bytes is not None:
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        if size >= max_bytes:
+            rotate_ledger(path, keep=keep)
     with open(path, "a" if append else "w") as f:
         f.write(to_jsonl(recs))
     return len(recs)
 
 
-def read_ledger(path: str) -> list[RunRecord]:
-    """Load a JSONL run ledger from disk."""
-    with open(path) as f:
-        return from_jsonl(f.read())
+def read_ledger(path: str,
+                include_rotated: bool = False) -> list[RunRecord]:
+    """Load a JSONL run ledger from disk.
+
+    ``include_rotated=True`` also reads the rotation segments next to
+    the live file (``path.N`` .. ``path.1``, oldest first) so analysis
+    over a rotated ops-host ledger sees the whole retained history.
+    """
+    parts: list[str] = []
+    if include_rotated:
+        segs = []
+        i = 1
+        while os.path.exists(f"{path}.{i}"):
+            segs.append(f"{path}.{i}")
+            i += 1
+        parts.extend(reversed(segs))
+    if not (include_rotated and parts and not os.path.exists(path)):
+        # a freshly rotated host may have segments but no live file yet
+        parts.append(path)
+    out: list[RunRecord] = []
+    for part in parts:
+        with open(part) as f:
+            out.extend(from_jsonl(f.read()))
+    return out
 
 
 # -- aggregation (repro stats) ----------------------------------------------

@@ -1,0 +1,363 @@
+"""Integration tests for the live ops plane
+(:mod:`repro.telemetry.opsd`): endpoint contracts, SSE streaming,
+concurrent access during an active workload, and the serve-ops CLI
+wiring."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from conftest import smooth_field
+from repro.telemetry import opsd, quality, recorder
+from repro.telemetry.recorder import RunRecord
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    recorder.clear()
+    recorder.enable()
+    yield
+    quality.disable()
+    recorder.clear()
+    recorder.enable()
+
+
+@pytest.fixture
+def server():
+    srv = opsd.start_ops_server(port=0)
+    yield srv
+    srv.stop()
+
+
+def _get(srv, path, timeout=10.0):
+    with urllib.request.urlopen(srv.url + path, timeout=timeout) as r:
+        return r.status, r.read().decode()
+
+
+def _get_json(srv, path):
+    status, body = _get(srv, path)
+    return status, json.loads(body)
+
+
+def _record(**kw) -> RunRecord:
+    base = dict(seq=1, kind="compress", ts=0.0, wall_s=0.01,
+                codec="cuszi")
+    base.update(kw)
+    return RunRecord(**base)
+
+
+def _run_once():
+    with recorder.capture("compress", codec="cuszi") as cap:
+        cap.set(bytes_in=100, bytes_out=25)
+
+
+class _SSEClient:
+    """Minimal SSE consumer collecting ``event: run`` payloads."""
+
+    def __init__(self, srv, replay=0, want=1):
+        self.events = []
+        self.connected = threading.Event()
+        self.want = want
+        self.thread = threading.Thread(
+            target=self._consume,
+            args=(f"{srv.url}/runs/stream?replay={replay}",),
+            daemon=True)
+        self.thread.start()
+
+    def _consume(self, url):
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            assert resp.headers["Content-Type"] == "text/event-stream"
+            self.connected.set()
+            data = None
+            for raw in resp:
+                line = raw.decode().rstrip("\n")
+                if line.startswith("data: "):
+                    data = json.loads(line[6:])
+                elif line == "" and data is not None:
+                    self.events.append(data)
+                    data = None
+                    if len(self.events) >= self.want:
+                        return
+
+    def wait(self, timeout=15.0):
+        self.thread.join(timeout)
+        assert not self.thread.is_alive(), "SSE client did not finish"
+        return self.events
+
+
+class TestEndpoints:
+    def test_index_lists_endpoints(self, server):
+        status, doc = _get_json(server, "/")
+        assert status == 200
+        assert "/metrics" in doc["endpoints"]
+
+    def test_ready(self, server):
+        status, doc = _get_json(server, "/ready")
+        assert status == 200
+        assert doc["status"] == "ready"
+        assert doc["recorder_enabled"] is True
+
+    def test_health_healthy_then_unhealthy(self, server):
+        status, doc = _get_json(server, "/health")
+        assert status == 200 and doc["status"] == "healthy"
+        # an error record flips the doctor's run-errors check
+        recorder._append(_record(status="error"))
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/health")
+        assert err.value.code == 503
+        doc = json.loads(err.value.read().decode())
+        assert doc["status"] == "unhealthy"
+        assert "run errors" in doc["anomalies"]
+
+    def test_health_gates_on_exhausted_slo_budget(self):
+        from repro.telemetry import slo
+        blown = slo.SLOSpec("always", objective="errors", budget=0.001)
+        srv = opsd.start_ops_server(
+            port=0, slos=[blown],
+            base_records=[_record(status="error")])
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(srv, "/health")
+            assert err.value.code == 503
+            doc = json.loads(err.value.read().decode())
+            assert "slo always" in doc["anomalies"]
+        finally:
+            srv.stop()
+
+    def test_metrics_exposition(self, server):
+        _run_once()
+        status, body = _get(server, "/metrics")
+        assert status == 200
+        assert "# TYPE repro_build_info gauge" in body
+        assert "repro_slo_error_budget_remaining" in body
+        assert "repro_slo_burn_rate" in body
+        assert "repro_ops_requests_total" in body
+        assert "repro_ops_ledger_records 1" in body
+
+    def test_runs_tail(self, server):
+        for i in range(5):
+            _run_once()
+        status, doc = _get_json(server, "/runs?n=3")
+        assert status == 200
+        assert doc["n_total"] == 5
+        assert len(doc["records"]) == 3
+        assert all(r["kind"] == "compress" for r in doc["records"])
+        assert all(r.get("trace_id") for r in doc["records"])
+
+    def test_base_records_serve_ahead_of_ring(self):
+        srv = opsd.start_ops_server(
+            port=0, base_records=[_record(seq=77, kind="decompress")])
+        try:
+            _run_once()
+            _, doc = _get_json(srv, "/runs?n=10")
+            assert [r["kind"] for r in doc["records"]] == \
+                ["decompress", "compress"]
+        finally:
+            srv.stop()
+
+    def test_slo_endpoint(self, server):
+        _run_once()
+        status, doc = _get_json(server, "/slo")
+        assert status == 200
+        names = {s["slo"]["name"] for s in doc["slos"]}
+        assert "run_errors" in names
+
+    def test_profile_collapsed_stacks(self, server):
+        stop = threading.Event()
+
+        def busy():
+            while not stop.is_set():
+                sum(range(1000))
+
+        t = threading.Thread(target=busy, daemon=True)
+        t.start()
+        try:
+            status, body = _get(server, "/profile?seconds=0.3&hz=50")
+        finally:
+            stop.set()
+            t.join()
+        assert status == 200
+        head = body.splitlines()[0]
+        assert head.startswith("# sampling profile:")
+        # the busy thread's collapsed stack must appear with a count
+        assert any(line.rsplit(" ", 1)[-1].isdigit()
+                   for line in body.splitlines()[1:])
+
+    def test_bad_requests(self, server):
+        for path, code in (("/nope", 404), ("/runs?n=x", 400),
+                           ("/profile?seconds=999", 400),
+                           ("/runs/stream?replay=x", 400)):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server, path)
+            assert err.value.code == code, path
+
+    def test_post_is_rejected(self, server):
+        req = urllib.request.Request(server.url + "/metrics",
+                                     data=b"x", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10)
+        assert err.value.code == 405
+
+
+class TestStreaming:
+    def test_sse_receives_records_from_another_thread(self, server):
+        client = _SSEClient(server, want=2)
+        assert client.connected.wait(10)
+        time.sleep(0.2)          # let the queue register
+
+        def produce():
+            _run_once()
+            with recorder.capture("decompress", codec="cuszi"):
+                pass
+
+        t = threading.Thread(target=produce)
+        t.start()
+        t.join()
+        events = client.wait()
+        assert [e["kind"] for e in events] == ["compress", "decompress"]
+        assert all(e.get("run_id") for e in events)
+
+    def test_sse_replay_catches_up_late_joiners(self, server):
+        _run_once()
+        _run_once()
+        events = _SSEClient(server, replay=2, want=2).wait()
+        assert len(events) == 2
+        assert all(e["kind"] == "compress" for e in events)
+
+
+class TestConcurrency:
+    def test_parallel_scrapes_during_active_workload(self, server):
+        """Satellite: concurrent /metrics + /health + /runs requests
+        while a compression workload appends records must all succeed
+        and stay internally consistent."""
+        from repro.registry import get_compressor
+        data = smooth_field((16, 16, 16), seed=11)
+        comp = get_compressor("cuszi", eb=1e-3, mode="abs")
+        stop = threading.Event()
+        errors = []
+
+        def workload():
+            while not stop.is_set():
+                comp.decompress(comp.compress(data))
+
+        def scraper(path, parse):
+            try:
+                for _ in range(8):
+                    status, body = _get(server, path)
+                    assert status == 200
+                    parse(body)
+            except Exception as exc:  # noqa: BLE001 - collected
+                errors.append((path, exc))
+
+        def check_metrics(body):
+            assert "repro_build_info" in body
+            for line in body.splitlines():
+                assert line.startswith("#") or " " in line
+
+        w = threading.Thread(target=workload, daemon=True)
+        w.start()
+        threads = [
+            threading.Thread(target=scraper,
+                             args=("/metrics", check_metrics)),
+            threading.Thread(target=scraper,
+                             args=("/metrics", check_metrics)),
+            threading.Thread(target=scraper,
+                             args=("/health", json.loads)),
+            threading.Thread(target=scraper,
+                             args=("/runs?n=20", json.loads)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        stop.set()
+        w.join(10)
+        assert not errors, errors
+        assert recorder.records(), "workload recorded nothing"
+
+    def test_sse_client_during_workload_sees_live_traces(self, server):
+        from repro.registry import get_compressor
+        data = smooth_field((12, 12, 12), seed=5)
+        comp = get_compressor("cuszi", eb=1e-3, mode="abs")
+        client = _SSEClient(server, want=2)
+        assert client.connected.wait(10)
+        time.sleep(0.2)
+        comp.compress(data)
+        comp.compress(data)
+        events = client.wait()
+        assert len(events) == 2
+        assert all(e["kind"] == "compress" for e in events)
+        assert all(e.get("trace_id") for e in events)
+
+
+class TestPersistence:
+    def test_records_persist_with_rotation(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        srv = opsd.start_ops_server(port=0, persist_path=str(path),
+                                    persist_max_bytes=1, persist_keep=8)
+        try:
+            for _ in range(3):
+                _run_once()
+        finally:
+            srv.stop()
+        # max_bytes=1 forces a rotation before every append after the
+        # first, so each record lands in its own segment
+        recs = recorder.read_ledger(str(path), include_rotated=True)
+        assert len(recs) == 3
+        assert (tmp_path / "ops.jsonl.1").exists()
+
+    def test_stop_unsubscribes(self, tmp_path):
+        path = tmp_path / "ops.jsonl"
+        srv = opsd.start_ops_server(port=0, persist_path=str(path))
+        srv.stop()
+        _run_once()
+        assert not path.exists()
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, server):
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+
+    def test_bind_failure_raises_in_caller(self, server):
+        with pytest.raises(OSError):
+            opsd.start_ops_server(port=server.port)
+
+    def test_stop_is_idempotent(self):
+        srv = opsd.start_ops_server(port=0)
+        srv.stop()
+        srv.stop()
+
+
+class TestServeOpsCLI:
+    def test_serve_ops_for_seconds(self, tmp_path, capsys):
+        from repro.cli import main
+        ledger = tmp_path / "seed.jsonl"
+        recorder.write_ledger(str(ledger), [_record(seq=9)])
+        rc_holder = {}
+
+        def run():
+            rc_holder["rc"] = main(
+                ["serve-ops", "--port", "0", "--ledger", str(ledger),
+                 "--for-seconds", "1.5"])
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join(15)
+        assert not t.is_alive()
+        assert rc_holder["rc"] == 0
+        out = capsys.readouterr().out
+        assert "1 ledger record(s) loaded" in out
+        assert "ops server stopped" in out
+
+    def test_serve_ops_rejects_bad_slo_file(self, tmp_path, capsys):
+        from repro.cli import main
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        assert main(["serve-ops", "--port", "0",
+                     "--slo", str(bad)]) == 1
+        assert "cannot load SLOs" in capsys.readouterr().err

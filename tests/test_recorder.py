@@ -423,9 +423,25 @@ class TestStatsDoctorCLI:
     def test_stats_json(self, mixed_ledger, capsys):
         from repro.cli import main
         assert main(["stats", str(mixed_ledger), "--json"]) == 0
-        agg = json.loads(capsys.readouterr().out)
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        agg = doc["groups"]
         assert "compress[cuszi]" in agg
         assert agg["compress[cuszi]"]["wall_s"]["n"] >= 3
+        # the error-budget section rides along in the same document
+        names = {s["slo"]["name"] for s in doc["slo"]}
+        assert "run_errors" in names and "compress_wall_p99" in names
+        assert all(not s["exhausted"] for s in doc["slo"])
+
+    def test_stats_json_check_embeds_sentinel(self, mixed_ledger,
+                                              capsys, tmp_path):
+        from repro.cli import main
+        bench = tmp_path / "nope.json"      # unreadable -> no-current
+        assert main(["stats", str(mixed_ledger), "--json", "--check",
+                     "--bench", str(bench)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sentinel"]["status"] == "no-current"
+        assert doc["sentinel"]["findings"] == []
 
     def test_stats_missing_ledger(self, tmp_path, capsys):
         from repro.cli import main
@@ -462,3 +478,149 @@ class TestCacheRegistryDiff:
         assert delta["misses"] == 3
         assert delta["size_growth"] == 2
         assert delta["evictions"] == 1
+
+
+class TestTraceContext:
+    def test_root_capture_mints_trace(self):
+        with recorder.capture("compress", codec="cuszi"):
+            pass
+        rec = recorder.records()[0]
+        assert rec.trace_id and rec.run_id
+        assert rec.parent_run_id is None
+
+    def test_nested_capture_inherits_trace(self):
+        with recorder.capture("outer") as outer:
+            with recorder.capture("inner"):
+                pass
+        inner, outer_rec = recorder.records()
+        assert inner.trace_id == outer_rec.trace_id
+        assert inner.parent_run_id == outer_rec.run_id
+        assert inner.run_id != outer_rec.run_id
+
+    def test_trace_scope_adopts_foreign_context(self):
+        ctx = {"trace_id": "cafe" * 4, "run_id": "beef" * 4}
+        with recorder.trace_scope(ctx):
+            with recorder.capture("compress"):
+                pass
+        rec = recorder.records()[0]
+        assert rec.trace_id == "cafe" * 4
+        assert rec.parent_run_id == "beef" * 4
+        # the scope must not leak past its context manager
+        with recorder.capture("compress"):
+            pass
+        assert recorder.records()[1].trace_id != "cafe" * 4
+
+    def test_propagation_context_reflects_innermost(self):
+        assert recorder.propagation_context() is None
+        with recorder.capture("outer"):
+            outer_ctx = recorder.propagation_context()
+            with recorder.capture("inner"):
+                inner_ctx = recorder.propagation_context()
+        assert outer_ctx["trace_id"] == inner_ctx["trace_id"]
+        assert outer_ctx["run_id"] != inner_ctx["run_id"]
+
+    def test_ledger_round_trips_trace_ids(self, tmp_path):
+        with recorder.capture("compress"):
+            pass
+        path = tmp_path / "t.jsonl"
+        recorder.write_ledger(str(path))
+        back = recorder.read_ledger(str(path))[0]
+        orig = recorder.records()[0]
+        assert (back.trace_id, back.run_id, back.parent_run_id) == \
+            (orig.trace_id, orig.run_id, orig.parent_run_id)
+
+    def test_trace_propagates_across_pool_workers(self):
+        from repro.runtime import map_compress
+        fields = [smooth_field((12, 12, 12), seed=s) for s in (3, 4)]
+        map_compress(fields, "cuszi", eb=1e-3, mode="abs", workers=2)
+        recs = recorder.records()
+        parents = [r for r in recs if r.kind == "runtime.map_compress"]
+        assert len(parents) == 1
+        parent = parents[0]
+        shipped = [r for r in recs if "worker_pid" in r.attrs]
+        assert shipped, "worker records did not ship back"
+        for rec in shipped:
+            assert rec.trace_id == parent.trace_id
+            assert rec.parent_run_id == parent.run_id
+            assert rec.attrs["worker_pid"] != parent.memory.get("pid")
+
+
+class TestLedgerRotation:
+    def _ledger(self, path, n, start=0):
+        recorder.write_ledger(str(path),
+                              [_record(seq=start + i) for i in range(n)],
+                              append=True)
+
+    def test_rotate_shifts_segments(self, tmp_path):
+        path = tmp_path / "L.jsonl"
+        self._ledger(path, 2)
+        recorder.rotate_ledger(str(path))
+        assert not path.exists()
+        assert (tmp_path / "L.jsonl.1").exists()
+        self._ledger(path, 1, start=10)
+        recorder.rotate_ledger(str(path))
+        assert (tmp_path / "L.jsonl.2").exists()
+        # oldest-first read across segments plus live file
+        self._ledger(path, 1, start=20)
+        recs = recorder.read_ledger(str(path), include_rotated=True)
+        assert [r.seq for r in recs] == [0, 1, 10, 20]
+
+    def test_rotate_drops_beyond_keep(self, tmp_path):
+        path = tmp_path / "L.jsonl"
+        for round_ in range(6):
+            self._ledger(path, 1, start=round_)
+            recorder.rotate_ledger(str(path), keep=2)
+        assert (tmp_path / "L.jsonl.1").exists()
+        assert (tmp_path / "L.jsonl.2").exists()
+        assert not (tmp_path / "L.jsonl.3").exists()
+
+    def test_write_ledger_rotates_at_max_bytes(self, tmp_path):
+        path = tmp_path / "L.jsonl"
+        self._ledger(path, 1)
+        size = path.stat().st_size
+        recorder.write_ledger(str(path), [_record(seq=5)], append=True,
+                              max_bytes=size)      # full -> rotate first
+        assert (tmp_path / "L.jsonl.1").exists()
+        live = recorder.read_ledger(str(path))
+        assert [r.seq for r in live] == [5]
+        both = recorder.read_ledger(str(path), include_rotated=True)
+        assert [r.seq for r in both] == [0, 5]
+
+    def test_read_rotated_survives_missing_live_file(self, tmp_path):
+        path = tmp_path / "L.jsonl"
+        self._ledger(path, 1)
+        recorder.rotate_ledger(str(path))
+        recs = recorder.read_ledger(str(path), include_rotated=True)
+        assert len(recs) == 1
+
+    def test_rotate_rejects_bad_keep(self, tmp_path):
+        with pytest.raises(ValueError):
+            recorder.rotate_ledger(str(tmp_path / "x"), keep=0)
+
+
+class TestSubscribers:
+    def test_subscriber_sees_each_record(self):
+        got = []
+        token = recorder.subscribe(got.append)
+        try:
+            with recorder.capture("compress"):
+                pass
+            with recorder.capture("decompress"):
+                pass
+        finally:
+            recorder.unsubscribe(token)
+        assert [r.kind for r in got] == ["compress", "decompress"]
+        with recorder.capture("compress"):
+            pass
+        assert len(got) == 2                      # unsubscribed
+
+    def test_broken_subscriber_does_not_break_runs(self):
+        def boom(rec):
+            raise RuntimeError("subscriber bug")
+        token = recorder.subscribe(boom)
+        try:
+            with recorder.capture("compress"):
+                pass
+        finally:
+            recorder.unsubscribe(token)
+        assert len(recorder.records()) == 1
