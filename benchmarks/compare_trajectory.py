@@ -65,6 +65,10 @@ def main(argv: list[str] | None = None) -> int:
     for section, key, label in (
             ("ginterp", "speedup", "compiled-vs-reference speedup"),
             ("runtime", "speedup", "parallel slab speedup"),
+            ("transport", "compress_speedup",
+             "shm pooled-compress speedup"),
+            ("transport", "decompress_speedup",
+             "shm pooled-decompress speedup"),
             ("lossless", "warm_speedup_vs_gle", "warm-vs-GLE speedup")):
         old = (baseline.get(section) or {}).get(key)
         new = (current.get(section) or {}).get(key)

@@ -20,6 +20,15 @@ container against the whole-container GLE pass it replaces — cold
 (sampling) and warm (plan-cache) encode, decode, the per-segment
 backend plan, and the bytes saved.
 
+Schema 6 adds a ``transport`` section: serial vs pooled wall times for
+both directions on a 128^3 field (big enough to clear the shm floors),
+the shm-vs-pickled byte accounting from
+:func:`repro.runtime.pool.transport_stats`, and the active transport's
+size floors — the sentinel gates on pooled decompress staying
+competitive with serial. ``runtime.cpu_count`` now reports *usable*
+cores (``sched_getaffinity``), with the installed count kept as
+``cpu_count_logical``.
+
 Schema 5 adds the observability layer: a ``thresholds`` object declaring
 each section's regression tolerance (read by
 :mod:`repro.telemetry.sentinel` — the *committed baseline* owns its own
@@ -95,17 +104,78 @@ def test_emit_pipeline_trajectory():
     recon = parallel_decompress_slabs(parallel_stream, workers=workers)
     t3 = time.perf_counter()
     assert recon.shape == data.shape
+    from repro.streaming import decompress_slabs
+    t4 = time.perf_counter()
+    decompress_slabs(serial_stream)
+    t5 = time.perf_counter()
     serial_s = t1 - t0
     parallel_s = t2 - t1
+    # usable cores, not installed cores: cgroup/affinity-limited runners
+    # (CI containers) otherwise report e.g. cpu_count=64 while only one
+    # core is schedulable, which misrepresents every speedup number
+    try:
+        usable_cpus = len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        usable_cpus = os.cpu_count() or 1
     runtime = {
         "n_slabs": -(-shape[0] // SLAB_PLANES),
         "workers": workers,
         "serial_s": round(serial_s, 6),
         "parallel_s": round(parallel_s, 6),
         "parallel_decompress_s": round(t3 - t2, 6),
+        "serial_decompress_s": round(t5 - t4, 6),
         "speedup": round(serial_s / parallel_s, 4) if parallel_s else 0.0,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": usable_cpus,
+        "cpu_count_logical": os.cpu_count(),
     }
+
+    # schema 6: the zero-copy shm transport on a field big enough to
+    # clear the shm floors (128^3 f32 = 8 MiB). Serial vs pooled wall
+    # times for both directions plus the byte accounting that proves
+    # payloads moved through arenas rather than the pickle queue.
+    from repro.runtime import pool as runtime_pool
+    from repro.runtime import transport_kind
+    tdata = load_field(dataset, field, shape=(128, 128, 128))
+    tkind = transport_kind()
+    runtime_pool.reset_transport_stats()
+    # warm the daemon pool (fork + codec import cost is one-time)
+    parallel_compress_slabs(tdata[:2 * SLAB_PLANES], SLAB_PLANES,
+                            workers=workers, **slab_kwargs)
+    t0 = time.perf_counter()
+    t_serial_stream = compress_slabs(tdata, SLAB_PLANES, **slab_kwargs)
+    t1 = time.perf_counter()
+    t_par_stream = parallel_compress_slabs(tdata, SLAB_PLANES,
+                                           workers=workers, **slab_kwargs)
+    t2 = time.perf_counter()
+    assert t_par_stream == t_serial_stream, \
+        "shm transport must be byte-identical to serial"
+    decompress_slabs(t_serial_stream)
+    t3 = time.perf_counter()
+    parallel_decompress_slabs(t_par_stream, workers=workers)
+    t4 = time.perf_counter()
+    tstats = runtime_pool.transport_stats()
+    ser_c, par_c = t1 - t0, t2 - t1
+    ser_d, par_d = t3 - t2, t4 - t3
+    transport = {
+        "kind": tkind,
+        "field_shape": [128, 128, 128],
+        "field_bytes": tdata.nbytes,
+        "workers": workers,
+        "serial_compress_s": round(ser_c, 6),
+        "parallel_compress_s": round(par_c, 6),
+        "compress_speedup": round(ser_c / par_c, 4) if par_c else 0.0,
+        "serial_decompress_s": round(ser_d, 6),
+        "parallel_decompress_s": round(par_d, 6),
+        "decompress_speedup": round(ser_d / par_d, 4) if par_d else 0.0,
+        "shm_bytes_moved": tstats["shm_bytes"],
+        "pickled_bytes": tstats["pickled_bytes"],
+        "copies_avoided": tstats["copies_avoided"],
+        "min_encode_bytes": runtime_pool.SHM_MIN_ENCODE_BYTES
+        if tkind == "shm" else runtime_pool.PARALLEL_MIN_ENCODE_BYTES,
+        "min_decode_bytes": runtime_pool.SHM_MIN_DECODE_BYTES
+        if tkind == "shm" else runtime_pool.PARALLEL_MIN_DECODE_BYTES,
+    }
+    del tdata, t_serial_stream, t_par_stream
 
     # compiled pass-plan engine: repeated-compress loop, warm plan cache,
     # against the uncompiled reference traversal on the same field
@@ -237,7 +307,7 @@ def test_emit_pipeline_trajectory():
         quality.disable()
 
     doc = {
-        "schema": 5,
+        "schema": 6,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
@@ -245,9 +315,10 @@ def test_emit_pipeline_trajectory():
         # per-section regression tolerance, read by the sentinel from
         # the *committed* copy of this file (the baseline owns its gate)
         "thresholds": {"ginterp": 0.25, "lossless": 0.25,
-                       "runtime": 0.25},
+                       "runtime": 0.25, "transport": 0.25},
         "results": results,
         "runtime": runtime,
+        "transport": transport,
         "ginterp": ginterp,
         "lossless": lossless,
         "caches": caches.snapshot(),

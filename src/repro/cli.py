@@ -59,6 +59,8 @@ def _write_trace(registry, path: str) -> None:
 
 
 def _cmd_compress(args) -> int:
+    if args.tiled or args.tile_planes or args.memory_budget_mb:
+        return _cmd_compress_tiled(args)
     data = np.fromfile(args.input, dtype=np.float32)
     n = int(np.prod(args.dims))
     if data.size != n:
@@ -89,7 +91,44 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+def _cmd_compress_tiled(args) -> int:
+    """Out-of-core compress: memory-mapped input, bounded peak RSS,
+    slab-stream (``RPST``) output ``repro decompress`` auto-detects."""
+    from repro.common.errors import ConfigError
+    from repro.runtime.tiled import tiled_compress_file
+    kwargs = {}
+    if args.codec == "cuzfp":
+        kwargs["rate"] = args.rate
+    else:
+        kwargs.update(eb=args.eb, mode=args.mode)
+    budget = (int(args.memory_budget_mb * (1 << 20))
+              if args.memory_budget_mb else None)
+    try:
+        info = tiled_compress_file(
+            args.input, args.dims, out_path=args.output,
+            codec=args.codec, tile_planes=args.tile_planes,
+            memory_budget_bytes=budget, **kwargs)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.input}: {info['bytes_in']} -> {info['bytes_out']} "
+          f"bytes in {info['n_tiles']} tiles of "
+          f"{info['tile_planes']} plane(s) "
+          f"(CR {compression_ratio(info['bytes_in'], info['bytes_out']):.2f})")
+    return 0
+
+
 def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as f:
+        head = f.read(4)
+    if head == b"RPST":
+        # a tiled/slab stream: decode out of core, tile by tile
+        from repro.runtime.tiled import tiled_decompress_file
+        info = tiled_decompress_file(args.input, args.output)
+        print(f"{args.input}: reconstructed {info['shape']} "
+              f"{np.dtype(info['dtype'])} ({info['n_tiles']} tiles) "
+              f"-> {args.output}")
+        return 0
     with open(args.input, "rb") as f:
         blob = f.read()
     if args.trace:
@@ -160,7 +199,7 @@ def _cmd_pack(args) -> int:
     from repro.archive import write_archive
     write_archive(args.output, fields, codec=args.codec, eb=args.eb,
                   mode=args.mode, lossless=args.lossless,
-                  workers=args.workers)
+                  workers=args.workers, transport=args.transport)
     from repro.archive import read_archive  # noqa: F401  (symmetry)
     import os
     raw = sum(d.nbytes for d in fields.values())
@@ -175,7 +214,8 @@ def _cmd_unpack(args) -> int:
     from repro.archive import read_archive
     fields = read_archive(args.input,
                           fields=args.fields.split(",") if args.fields
-                          else None, workers=args.workers)
+                          else None, workers=args.workers,
+                          transport=args.transport)
     for name, data in fields.items():
         path = f"{args.prefix}{name}.f32"
         data.astype(np.float32).tofile(path)
@@ -439,6 +479,16 @@ def main(argv=None) -> int:
                    choices=("none", "gle", "zlib", "auto"))
     p.add_argument("--trace", metavar="FILE", default=None,
                    help="record a JSONL telemetry trace of the run")
+    p.add_argument("--tiled", action="store_true",
+                   help="out-of-core: memory-map the input and compress "
+                        "axis-0 tiles with bounded peak RSS (output is "
+                        "a slab stream; decompress auto-detects it)")
+    p.add_argument("--tile-planes", type=int, default=None, metavar="N",
+                   help="planes per tile for --tiled")
+    p.add_argument("--memory-budget-mb", type=float, default=None,
+                   metavar="MB",
+                   help="pick the tile size from a peak-RSS budget "
+                        "(implies --tiled)")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress an archive")
@@ -482,6 +532,10 @@ def main(argv=None) -> int:
                    metavar="N",
                    help="compress fields across N worker processes "
                         "('auto' = all cores; default serial)")
+    p.add_argument("--transport", default=None,
+                   choices=("shm", "pickle"),
+                   help="pool payload transport (default: shm arenas "
+                        "when the platform supports them)")
     p.set_defaults(func=_cmd_pack)
 
     p = sub.add_parser("unpack", help="extract fields from an archive")
@@ -494,6 +548,10 @@ def main(argv=None) -> int:
                    metavar="N",
                    help="decompress fields across N worker processes "
                         "('auto' = all cores; default serial)")
+    p.add_argument("--transport", default=None,
+                   choices=("shm", "pickle"),
+                   help="pool payload transport (default: shm arenas "
+                        "when the platform supports them)")
     p.set_defaults(func=_cmd_unpack)
 
     p = sub.add_parser("stats", help="aggregate a flight-recorder run "

@@ -29,6 +29,22 @@ codebook LRU *and* the compiled pass-plan LRU
 (:mod:`repro.core.ginterp.plans`) are per-process, so a worker compiles
 each slab geometry once on its first task and reuses it for the rest of
 the batch (same-shape slabs all share one plan entry).
+
+Two transports carry payloads across the process boundary:
+
+* ``"shm"`` (the default wherever ``multiprocessing.shared_memory``
+  exists) — a persistent worker-daemon pool
+  (:mod:`repro.runtime.workers`) moving slabs and blobs through
+  shared-memory arenas; only offsets/lengths and codec config are
+  pickled. Daemons are long-lived, so their plan/codebook/orchestrator
+  caches stay warm *across* requests, not just within one batch.
+* ``"pickle"`` — the original per-call ``ProcessPoolExecutor`` round
+  trip, kept as the portable fallback and selectable with
+  ``transport="pickle"`` or ``REPRO_TRANSPORT=pickle``.
+
+Both transports produce output byte-identical to the serial path; they
+differ only in where the bytes travel and what the break-even size floor
+is (:data:`SHM_MIN_ENCODE_BYTES` vs :data:`PARALLEL_MIN_ENCODE_BYTES`).
 """
 
 from __future__ import annotations
@@ -46,34 +62,74 @@ from repro import telemetry
 from repro.telemetry import recorder
 from repro.common.errors import ConfigError
 from repro.registry import decompress_any, get_compressor
+from repro.runtime import shm as shm_transport
+from repro.runtime.workers import (BrokenWorkerPool, ShmPool,
+                                   TransportStats, WorkerTaskError)
+from repro.runtime.shm import ArenaError
 from repro.streaming import SlabWriter, SlabReader, compress_slabs, \
     decompress_slabs, frame_slabs
 
 __all__ = ["resolve_workers", "parallel_compress_slabs",
            "parallel_decompress_slabs", "map_compress", "map_decompress",
            "run_batch", "shutdown_pools", "serial_fallbacks",
-           "reset_serial_fallbacks",
-           "PARALLEL_MIN_ENCODE_BYTES", "PARALLEL_MIN_DECODE_BYTES"]
+           "reset_serial_fallbacks", "transport_kind", "transport_stats",
+           "reset_transport_stats",
+           "PARALLEL_MIN_ENCODE_BYTES", "PARALLEL_MIN_DECODE_BYTES",
+           "SHM_MIN_ENCODE_BYTES", "SHM_MIN_DECODE_BYTES"]
 
 #: fields smaller than this (raw bytes) compress serially even when a
-#: pool is requested — pickling the slabs out and the blobs back costs
-#: more than the codec work saved
+#: pool is requested **on the pickle transport** — pickling the slabs
+#: out and the blobs back costs more than the codec work saved
 PARALLEL_MIN_ENCODE_BYTES = 8 * 1024 * 1024
-#: streams smaller than this (compressed bytes) decompress serially even
-#: when a pool is requested. Decode is several times cheaper than encode,
+#: streams smaller than this (compressed bytes) decompress serially on
+#: the pickle transport. Decode is several times cheaper than encode,
 #: and every decoded slab must be pickled back whole, so the break-even
 #: point sits far above tiny benchmark streams (the 64^3 Nyx field's
 #: ~50 KiB stream decoded 5x *slower* on a forced pool).
 PARALLEL_MIN_DECODE_BYTES = 2 * 1024 * 1024
+#: shm-transport break-even floors. The zero-copy hand-off removes the
+#: per-payload serialize/deserialize tax the old floors priced in, so
+#: the pool pays off roughly an order of magnitude earlier: one memcpy
+#: in, one out, and a constant ~100 us of queue dispatch per request.
+SHM_MIN_ENCODE_BYTES = 1 * 1024 * 1024
+SHM_MIN_DECODE_BYTES = 256 * 1024
+
+
+def transport_kind(transport: str | None = None) -> str:
+    """Resolve the effective payload transport: ``"shm"`` or ``"pickle"``.
+
+    Explicit ``transport=`` wins, then the ``REPRO_TRANSPORT``
+    environment variable, then platform capability (shm wherever
+    ``multiprocessing.shared_memory`` imports).
+    """
+    kind = transport or os.environ.get("REPRO_TRANSPORT") or None
+    if kind is None:
+        return "shm" if shm_transport.available() else "pickle"
+    if kind not in ("shm", "pickle"):
+        raise ConfigError(f"transport must be 'shm' or 'pickle', "
+                          f"got {kind!r}")
+    return kind
+
+
+def _encode_floor(kind: str) -> int:
+    return SHM_MIN_ENCODE_BYTES if kind == "shm" \
+        else PARALLEL_MIN_ENCODE_BYTES
+
+
+def _decode_floor(kind: str) -> int:
+    return SHM_MIN_DECODE_BYTES if kind == "shm" \
+        else PARALLEL_MIN_DECODE_BYTES
 
 
 # -- serial-fallback accounting ---------------------------------------------
 
 _fallback_lock = threading.Lock()
 #: why a pooled request ran serially: below the IPC break-even size
-#: floor (expected, tunable) vs a pool that could not be (re)spawned
-#: (an environment problem ``repro doctor`` should flag)
-_fallback_counts = {"size_floor": 0, "spawn_failure": 0}
+#: floor (expected, tunable), a pool that could not be (re)spawned, or a
+#: worker daemon that died mid-request (both environment problems
+#: ``repro doctor`` should flag)
+_fallback_counts = {"size_floor": 0, "spawn_failure": 0,
+                    "worker_crash": 0}
 
 
 def serial_fallbacks() -> dict[str, int]:
@@ -88,15 +144,74 @@ def reset_serial_fallbacks() -> None:
             _fallback_counts[k] = 0
 
 
-def _note_fallback(reason: str, op: str) -> None:
+def _note_fallback(reason: str, op: str, transport: str | None = None,
+                   floor: int | None = None) -> None:
     with _fallback_lock:
         _fallback_counts[reason] += 1
     telemetry.incr(f"runtime.serial_fallback.{reason}")
     recorder.count(f"runtime.serial_fallback.{reason}")
-    recorder.annotate(serial_fallback=reason, serial_fallback_op=op)
+    attrs = {"serial_fallback": reason, "serial_fallback_op": op}
+    # ledger-visible context: which transport's floor/pool made the call
+    if transport is not None:
+        attrs["serial_fallback_transport"] = transport
+    if floor is not None:
+        attrs["serial_fallback_floor"] = int(floor)
+    recorder.annotate(**attrs)
+
+
+# -- transport accounting ----------------------------------------------------
+
+_transport_lock = threading.Lock()
+_transport_totals = {"shm_bytes": 0, "pickled_bytes": 0,
+                     "copies_avoided": 0, "requests": 0}
+
+
+def transport_stats() -> dict[str, int]:
+    """Cumulative bytes moved across the process boundary, by mechanism.
+
+    ``shm_bytes`` crossed through shared-memory arenas (one memcpy per
+    direction, nothing serialized), ``pickled_bytes`` crossed the
+    control/data queues serialized, ``copies_avoided`` counts payloads
+    that skipped pickling entirely. The bench emitter snapshots this
+    around its transport workload.
+    """
+    with _transport_lock:
+        return dict(_transport_totals)
+
+
+def reset_transport_stats() -> None:
+    with _transport_lock:
+        for k in _transport_totals:
+            _transport_totals[k] = 0
+
+
+def _note_transport(cap, kind: str, stats: TransportStats) -> None:
+    with _transport_lock:
+        _transport_totals["shm_bytes"] += stats.shm_bytes
+        _transport_totals["pickled_bytes"] += stats.pickled_bytes
+        _transport_totals["copies_avoided"] += stats.copies_avoided
+        _transport_totals["requests"] += 1
+    telemetry.incr("runtime.transport.shm_bytes", stats.shm_bytes)
+    telemetry.incr("runtime.transport.pickled_bytes",
+                   stats.pickled_bytes)
+    cap.set(transport=kind, transport_shm_bytes=stats.shm_bytes,
+            transport_pickled_bytes=stats.pickled_bytes,
+            transport_copies_avoided=stats.copies_avoided)
 
 
 # -- worker-count knob ------------------------------------------------------
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on. ``os.cpu_count()`` reports
+    the machine; CI runners and containers pin processes to a subset via
+    affinity/cgroups, and sizing ``"auto"`` pools (or reporting
+    ``cpu_count`` in the bench doc) off the machine-wide number is
+    wrong on both sides of that split."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
 
 def resolve_workers(workers: int | str | None) -> int:
     """Normalize the ``workers=`` knob to a concrete pool size.
@@ -108,7 +223,7 @@ def resolve_workers(workers: int | str | None) -> int:
     if workers is None:
         return 1
     if workers == "auto":
-        return max(1, os.cpu_count() or 1)
+        return max(1, _usable_cpus())
     if isinstance(workers, bool) or not isinstance(workers, int):
         raise ConfigError(f"workers must be None, 'auto', or an int, "
                           f"got {workers!r}")
@@ -139,16 +254,85 @@ def _evict_pool(workers: int) -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
+_SHM_POOLS: dict[int, ShmPool] = {}
+
+
+def _get_shm_pool(workers: int) -> ShmPool:
+    with _pool_lock:
+        pool = _SHM_POOLS.get(workers)
+        if pool is not None and not pool.alive():
+            _SHM_POOLS.pop(workers, None)
+            pool.shutdown()
+            pool = None
+        if pool is None:
+            pool = ShmPool(workers)
+            _SHM_POOLS[workers] = pool
+        return pool
+
+
+def _evict_shm_pool(workers: int) -> None:
+    """Tear down a crashed daemon pool — this unlinks its arenas, so a
+    killed worker never leaves ``/dev/shm`` segments behind."""
+    with _pool_lock:
+        pool = _SHM_POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown()
+
+
 def shutdown_pools() -> None:
     """Shut down every cached worker pool (atexit-registered)."""
     with _pool_lock:
         pools = list(_POOLS.values())
         _POOLS.clear()
+        shm_pools = list(_SHM_POOLS.values())
+        _SHM_POOLS.clear()
     for pool in pools:
+        pool.shutdown()
+    for pool in shm_pools:
         pool.shutdown()
 
 
 atexit.register(shutdown_pools)
+
+
+# -- shm transport dispatch --------------------------------------------------
+
+def _shm_attempt(op: str, workers: int, invoke):
+    """Run one request on the daemon pool; returns ``(status, result)``.
+
+    ``status`` tells the caller how to proceed: ``"ok"`` (result holds
+    the :class:`~repro.runtime.workers.RequestResult`), ``"unavailable"``
+    (no shm on this platform/env — use the pickle transport),
+    ``"crashed"`` (a worker died; the pool was evicted and its arenas
+    unlinked — run serial), or ``"task_error"`` (the work itself raised
+    in a worker — re-run serial so the real exception surfaces with its
+    original type).
+    """
+    try:
+        pool = _get_shm_pool(workers)
+    except ArenaError:
+        telemetry.incr("runtime.transport.shm_unavailable")
+        return "unavailable", None
+    try:
+        return "ok", invoke(pool)
+    except BrokenWorkerPool:
+        _evict_shm_pool(workers)
+        _note_fallback("worker_crash", op, transport="shm")
+        return "crashed", None
+    except WorkerTaskError:
+        return "task_error", None
+    except ArenaError:  # pragma: no cover - /dev/shm exhausted mid-grow
+        telemetry.incr("runtime.transport.shm_unavailable")
+        return "unavailable", None
+
+
+def _absorb_shm_result(cap, rr, offset_s: float):
+    """Merge a shm request's worker traces/aux and account transport."""
+    results = [(None, o.spans, o.pid, o.aux) for o in rr.outcomes]
+    _merge_worker_trace(results, offset_s)
+    _merge_worker_aux(cap, results)
+    _note_transport(cap, "shm", rr.stats)
+    return rr.final
 
 
 def _run_batch(task, payloads: list, workers: int) -> list:
@@ -318,20 +502,24 @@ def _decompress_field_task(payload):
 def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
                             workers: int | str | None = None,
                             min_parallel_bytes: int | None = None,
+                            transport: str | None = None,
                             **writer_kwargs) -> bytes:
     """Slab-stream a field like :func:`repro.streaming.compress_slabs`,
     compressing slab groups concurrently across worker processes.
 
     The output is **byte-identical** to the serial path for any
-    ``workers`` value: slabs are cut at the same plane boundaries,
-    compressed by the same deterministic codec configuration, and framed
-    in their original order. Fields below ``min_parallel_bytes`` raw
-    bytes (default :data:`PARALLEL_MIN_ENCODE_BYTES`) take the serial
-    path outright — IPC overhead dwarfs the codec work there.
+    ``workers``/``transport`` value: slabs are cut at the same plane
+    boundaries, compressed by the same deterministic codec
+    configuration, and framed in their original order. Fields below
+    ``min_parallel_bytes`` raw bytes (default: the active transport's
+    floor, :data:`SHM_MIN_ENCODE_BYTES` or
+    :data:`PARALLEL_MIN_ENCODE_BYTES`) take the serial path outright —
+    IPC overhead dwarfs the codec work there.
     """
     workers = resolve_workers(workers)
+    kind = transport_kind(transport)
     if min_parallel_bytes is None:
-        min_parallel_bytes = PARALLEL_MIN_ENCODE_BYTES
+        min_parallel_bytes = _encode_floor(kind)
     if workers <= 1 or data.nbytes < min_parallel_bytes:
         if workers > 1:
             # a pooled request degraded to serial is still a run the
@@ -340,7 +528,8 @@ def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
             with recorder.capture("runtime.compress_slabs",
                                   workers=workers,
                                   bytes_in=data.nbytes) as cap:
-                _note_fallback("size_floor", "compress_slabs")
+                _note_fallback("size_floor", "compress_slabs",
+                               transport=kind, floor=min_parallel_bytes)
                 stream = compress_slabs(data, slab_planes,
                                         **writer_kwargs)
                 cap.set(bytes_out=len(stream))
@@ -365,18 +554,40 @@ def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
                            workers=workers, bytes_in=data.nbytes) as sp:
         offset = _trace_offset()
         ctx = recorder.propagation_context()
-        payloads = [(s, slabs[s:e], writer.codec, writer.eb,
-                     writer.codec_kwargs, trace, ctx)
-                    for s, e in _chunk_bounds(len(slabs), workers)]
-        try:
-            results = _run_batch(_compress_slab_task, payloads, workers)
-        except (BrokenProcessPool, OSError):
-            _note_fallback("spawn_failure", "compress_slabs")
-            return compress_slabs(data, slab_planes, **writer_kwargs)
-        _merge_worker_trace(results, offset)
-        _merge_worker_aux(cap, results)
-        stream = frame_slabs([blob for blobs, _, _, _ in results
-                              for blob in blobs])
+        bounds = _chunk_bounds(len(slabs), workers)
+        stream = None
+        if kind == "shm":
+            status, rr = _shm_attempt(
+                "compress_slabs", workers,
+                lambda pool: pool.compress_slabs(
+                    slabs, bounds, writer.codec, writer.eb,
+                    writer.codec_kwargs, trace, ctx,
+                    consume=frame_slabs))
+            if status == "ok":
+                stream = _absorb_shm_result(cap, rr, offset)
+            elif status == "unavailable":
+                kind = "pickle"
+            else:  # crashed / task_error -> serial (re-raises for real)
+                stream = compress_slabs(data, slab_planes,
+                                        **writer_kwargs)
+        if stream is None:
+            payloads = [(s, slabs[s:e], writer.codec, writer.eb,
+                         writer.codec_kwargs, trace, ctx)
+                        for s, e in bounds]
+            try:
+                results = _run_batch(_compress_slab_task, payloads,
+                                     workers)
+            except (BrokenProcessPool, OSError):
+                _note_fallback("spawn_failure", "compress_slabs",
+                               transport=kind)
+                return compress_slabs(data, slab_planes, **writer_kwargs)
+            _merge_worker_trace(results, offset)
+            _merge_worker_aux(cap, results)
+            stream = frame_slabs([blob for blobs, _, _, _ in results
+                                  for blob in blobs])
+            _note_transport(cap, "pickle", TransportStats(
+                pickled_bytes=data.nbytes + len(stream),
+                items=len(slabs)))
         sp.set(bytes_out=len(stream))
         cap.set(bytes_in=data.nbytes, bytes_out=len(stream))
     return stream
@@ -384,24 +595,28 @@ def parallel_compress_slabs(data: np.ndarray, slab_planes: int, *,
 
 def parallel_decompress_slabs(stream: bytes, *,
                               workers: int | str | None = None,
-                              min_parallel_bytes: int | None = None
+                              min_parallel_bytes: int | None = None,
+                              transport: str | None = None
                               ) -> np.ndarray:
     """Reassemble a slab stream, decoding slab groups concurrently.
 
-    Streams below ``min_parallel_bytes`` compressed bytes (default
+    Streams below ``min_parallel_bytes`` compressed bytes (default: the
+    active transport's floor, :data:`SHM_MIN_DECODE_BYTES` or
     :data:`PARALLEL_MIN_DECODE_BYTES`) decode serially regardless of
-    ``workers`` — decode is cheap relative to shipping every decoded
-    slab back through a pipe.
+    ``workers`` — decode is cheap relative to moving every decoded slab
+    back across the process boundary.
     """
     workers = resolve_workers(workers)
+    kind = transport_kind(transport)
     if min_parallel_bytes is None:
-        min_parallel_bytes = PARALLEL_MIN_DECODE_BYTES
+        min_parallel_bytes = _decode_floor(kind)
     if workers <= 1 or len(stream) < min_parallel_bytes:
         if workers > 1:
             with recorder.capture("runtime.decompress_slabs",
                                   workers=workers,
                                   bytes_in=len(stream)) as cap:
-                _note_fallback("size_floor", "decompress_slabs")
+                _note_fallback("size_floor", "decompress_slabs",
+                               transport=kind, floor=min_parallel_bytes)
                 out = decompress_slabs(stream)
                 cap.set(bytes_out=out.nbytes)
             return out
@@ -414,18 +629,38 @@ def parallel_decompress_slabs(stream: bytes, *,
                            workers=workers, bytes_in=len(stream)) as sp:
         offset = _trace_offset()
         ctx = recorder.propagation_context()
-        blobs = [reader.slab_bytes(i) for i in range(len(reader))]
-        payloads = [(s, blobs[s:e], trace, ctx)
-                    for s, e in _chunk_bounds(len(blobs), workers)]
-        try:
-            results = _run_batch(_decompress_slab_task, payloads, workers)
-        except (BrokenProcessPool, OSError):
-            _note_fallback("spawn_failure", "decompress_slabs")
-            return decompress_slabs(stream)
-        _merge_worker_trace(results, offset)
-        _merge_worker_aux(cap, results)
-        out = np.concatenate([arr for arrs, _, _, _ in results
-                              for arr in arrs], axis=0)
+        bounds = _chunk_bounds(len(reader), workers)
+        out = None
+        if kind == "shm":
+            spans = [reader.slab_span(i) for i in range(len(reader))]
+            status, rr = _shm_attempt(
+                "decompress_slabs", workers,
+                lambda pool: pool.decompress_slabs(
+                    stream, spans, bounds, trace, ctx,
+                    consume=lambda arrs: np.concatenate(arrs, axis=0)))
+            if status == "ok":
+                out = _absorb_shm_result(cap, rr, offset)
+            elif status == "unavailable":
+                kind = "pickle"
+            else:
+                out = decompress_slabs(stream)
+        if out is None:
+            blobs = [reader.slab_bytes(i) for i in range(len(reader))]
+            payloads = [(s, blobs[s:e], trace, ctx) for s, e in bounds]
+            try:
+                results = _run_batch(_decompress_slab_task, payloads,
+                                     workers)
+            except (BrokenProcessPool, OSError):
+                _note_fallback("spawn_failure", "decompress_slabs",
+                               transport=kind)
+                return decompress_slabs(stream)
+            _merge_worker_trace(results, offset)
+            _merge_worker_aux(cap, results)
+            out = np.concatenate([arr for arrs, _, _, _ in results
+                                  for arr in arrs], axis=0)
+            _note_transport(cap, "pickle", TransportStats(
+                pickled_bytes=len(stream) + out.nbytes,
+                items=len(reader)))
         sp.set(bytes_out=out.nbytes)
         cap.set(bytes_in=len(stream), bytes_out=out.nbytes)
     return out
@@ -436,6 +671,7 @@ def parallel_decompress_slabs(stream: bytes, *,
 def map_compress(fields, codec: str = "cuszi", *,
                  workers: int | str | None = None,
                  per_item: list[dict] | None = None,
+                 transport: str | None = None,
                  **codec_kwargs) -> list[bytes]:
     """Compress a batch of fields, returning blobs in input order.
 
@@ -476,32 +712,51 @@ def map_compress(fields, codec: str = "cuszi", *,
         if workers <= 1:
             blobs = _serial()
         else:
+            kind = transport_kind(transport)
             trace = telemetry.enabled()
             offset = _trace_offset()
             ctx = recorder.propagation_context()
-            payloads = [(i, data, item_codec, kwargs, trace, ctx)
-                        for i, (data, (item_codec, kwargs))
-                        in enumerate(zip(fields, configs))]
-            try:
-                results = _run_batch(_compress_field_task, payloads,
-                                     workers)
-            except (BrokenProcessPool, OSError):
-                _note_fallback("spawn_failure", "map_compress")
-                results = None
-            if results is None:
-                blobs = _serial()
-            else:
-                _merge_worker_trace(results, offset)
-                _merge_worker_aux(cap, results)
-                blobs = [blob for blob, _, _, _ in results]
+            blobs = None
+            if kind == "shm":
+                bounds = _chunk_bounds(len(fields), workers)
+                status, rr = _shm_attempt(
+                    "map_compress", workers,
+                    lambda pool: pool.compress_fields(
+                        fields, configs, bounds, trace, ctx,
+                        consume=lambda views: [bytes(v) for v in views]))
+                if status == "ok":
+                    blobs = _absorb_shm_result(cap, rr, offset)
+                elif status in ("crashed", "task_error"):
+                    blobs = _serial()
+            if blobs is None:
+                payloads = [(i, data, item_codec, kwargs, trace, ctx)
+                            for i, (data, (item_codec, kwargs))
+                            in enumerate(zip(fields, configs))]
+                try:
+                    results = _run_batch(_compress_field_task, payloads,
+                                         workers)
+                except (BrokenProcessPool, OSError):
+                    _note_fallback("spawn_failure", "map_compress",
+                                   transport="pickle")
+                    results = None
+                if results is None:
+                    blobs = _serial()
+                else:
+                    _merge_worker_trace(results, offset)
+                    _merge_worker_aux(cap, results)
+                    blobs = [blob for blob, _, _, _ in results]
+                    _note_transport(cap, "pickle", TransportStats(
+                        pickled_bytes=sum(d.nbytes for d in fields)
+                        + sum(len(b) for b in blobs),
+                        items=len(fields)))
         root.set(bytes_out=sum(len(b) for b in blobs))
         cap.set(bytes_in=sum(d.nbytes for d in fields),
                 bytes_out=sum(len(b) for b in blobs))
     return blobs
 
 
-def map_decompress(blobs, *, workers: int | str | None = None
-                   ) -> list[np.ndarray]:
+def map_decompress(blobs, *, workers: int | str | None = None,
+                   transport: str | None = None) -> list[np.ndarray]:
     """Decompress a batch of blobs, returning arrays in input order."""
     blobs = list(blobs)
     workers = resolve_workers(workers)
@@ -524,22 +779,44 @@ def map_decompress(blobs, *, workers: int | str | None = None
         if workers <= 1:
             out = _serial()
         else:
+            kind = transport_kind(transport)
             trace = telemetry.enabled()
             offset = _trace_offset()
             ctx = recorder.propagation_context()
-            payloads = [(i, blob, trace, ctx)
-                        for i, blob in enumerate(blobs)]
-            try:
-                results = _run_batch(_decompress_field_task, payloads,
-                                     workers)
-            except (BrokenProcessPool, OSError):
-                _note_fallback("spawn_failure", "map_decompress")
-                results = None
-            if results is None:
-                out = _serial()
-            else:
-                _merge_worker_trace(results, offset)
-                _merge_worker_aux(cap, results)
-                out = [arr for arr, _, _, _ in results]
+            out = None
+            if kind == "shm":
+                bounds = _chunk_bounds(len(blobs), workers)
+                status, rr = _shm_attempt(
+                    "map_decompress", workers,
+                    lambda pool: pool.decompress_fields(
+                        blobs, bounds, trace, ctx,
+                        # arena-backed views die at the next request;
+                        # np.array copies each result out exactly once
+                        consume=lambda arrs: [np.array(a)
+                                              for a in arrs]))
+                if status == "ok":
+                    out = _absorb_shm_result(cap, rr, offset)
+                elif status in ("crashed", "task_error"):
+                    out = _serial()
+            if out is None:
+                payloads = [(i, blob, trace, ctx)
+                            for i, blob in enumerate(blobs)]
+                try:
+                    results = _run_batch(_decompress_field_task,
+                                         payloads, workers)
+                except (BrokenProcessPool, OSError):
+                    _note_fallback("spawn_failure", "map_decompress",
+                                   transport="pickle")
+                    results = None
+                if results is None:
+                    out = _serial()
+                else:
+                    _merge_worker_trace(results, offset)
+                    _merge_worker_aux(cap, results)
+                    out = [arr for arr, _, _, _ in results]
+                    _note_transport(cap, "pickle", TransportStats(
+                        pickled_bytes=sum(len(b) for b in blobs)
+                        + sum(a.nbytes for a in out),
+                        items=len(blobs)))
         cap.set(bytes_out=sum(a.nbytes for a in out))
         return out

@@ -27,27 +27,75 @@ from repro import telemetry
 from repro.common.errors import ConfigError, ContainerError
 from repro.registry import decompress_any, get_compressor
 
-__all__ = ["SlabWriter", "SlabReader", "compress_slabs",
-           "decompress_slabs", "frame_slabs"]
+__all__ = ["SlabWriter", "SlabReader", "SlabStreamWriter",
+           "compress_slabs", "decompress_slabs", "frame_slabs"]
 
 _MAGIC = b"RPST"
 _HDR = struct.Struct("<4sI")          # magic, n_slabs
 _LEN = struct.Struct("<Q")
 
 
-def frame_slabs(blobs: list[bytes]) -> bytes:
+def _blob_len(blob) -> int:
+    """Byte length of a bytes-like payload (memoryviews included)."""
+    return blob.nbytes if isinstance(blob, memoryview) else len(blob)
+
+
+def frame_slabs(blobs: list) -> bytes:
     """Assemble independently-compressed slab blobs into one stream.
 
     This is the exact framing :meth:`SlabWriter.finish` emits, exposed so
     the parallel runtime can reassemble worker outputs bit-identically.
+    Blobs may be any bytes-like objects (the shm runtime passes
+    ``memoryview`` windows into its result arena); ``bytes.join`` copies
+    each exactly once into the final stream.
     """
     if not blobs:
         raise ConfigError("no slabs appended")
     parts = [_HDR.pack(_MAGIC, len(blobs))]
     for blob in blobs:
-        parts.append(_LEN.pack(len(blob)))
+        parts.append(_LEN.pack(_blob_len(blob)))
         parts.append(blob)
     return b"".join(parts)
+
+
+class SlabStreamWriter:
+    """Write the :func:`frame_slabs` framing incrementally to a file.
+
+    The out-of-core tiled path (:mod:`repro.runtime.tiled`) compresses
+    one tile at a time and must not hold every blob until the end — this
+    writer emits the header up front (``n_slabs`` is known from the tile
+    plan) and appends each ``length + blob`` record as it is produced,
+    yielding a stream byte-identical to :meth:`SlabWriter.finish` over
+    the same blobs.
+    """
+
+    def __init__(self, fileobj, n_slabs: int):
+        if n_slabs < 1:
+            raise ConfigError("no slabs appended")
+        self._fp = fileobj
+        self.n_slabs = int(n_slabs)
+        self._written = 0
+        self.bytes_out = self._fp.write(_HDR.pack(_MAGIC, self.n_slabs))
+
+    def append_blob(self, blob) -> int:
+        """Append one already-compressed slab blob; returns its size."""
+        if self._written >= self.n_slabs:
+            raise ConfigError(
+                f"stream declared {self.n_slabs} slabs, got more")
+        n = _blob_len(blob)
+        self._fp.write(_LEN.pack(n))
+        self._fp.write(blob)
+        self._written += 1
+        self.bytes_out += _LEN.size + n
+        return n
+
+    def close(self) -> None:
+        """Validate the declared slab count was met (does not close the
+        underlying file object — the caller owns it)."""
+        if self._written != self.n_slabs:
+            raise ConfigError(
+                f"stream declared {self.n_slabs} slabs, "
+                f"got {self._written}")
 
 
 class SlabWriter:
@@ -108,9 +156,14 @@ class SlabWriter:
 
 
 class SlabReader:
-    """Random or streaming access to a slab stream."""
+    """Random or streaming access to a slab stream.
 
-    def __init__(self, stream: bytes):
+    ``stream`` may be any bytes-like buffer — ``bytes``, a
+    ``memoryview``, or an ``mmap`` of a stream file — so out-of-core
+    callers can parse the slab table without materializing the stream.
+    """
+
+    def __init__(self, stream):
         if len(stream) < _HDR.size:
             raise ContainerError("truncated slab stream")
         magic, n = _HDR.unpack_from(stream, 0)
@@ -134,17 +187,22 @@ class SlabReader:
     def __len__(self) -> int:
         return len(self._offsets)
 
+    def slab_span(self, index: int) -> tuple[int, int]:
+        """``(offset, length)`` of one slab's blob within the stream —
+        the zero-copy address the shm runtime ships to workers."""
+        return self._offsets[index]
+
     def slab_bytes(self, index: int) -> bytes:
         """The still-compressed blob of one slab (no decode)."""
         pos, length = self._offsets[index]
-        return self._stream[pos:pos + length]
+        return bytes(self._stream[pos:pos + length])
 
     def read_slab(self, index: int) -> np.ndarray:
         """Decompress a single slab by position."""
         pos, length = self._offsets[index]
         with telemetry.span("slab.read", index=index,
                             bytes_in=length) as sp:
-            out = decompress_any(self._stream[pos:pos + length])
+            out = decompress_any(bytes(self._stream[pos:pos + length]))
             sp.set(bytes_out=out.nbytes)
         return out
 

@@ -4,7 +4,9 @@ One implementation of the ">25% slower than the committed baseline"
 check, shared by the CI bench job (``benchmarks/compare_trajectory.py``)
 and ``repro stats --check``. Each trajectory section — ``ginterp``
 (compiled-engine compress loop), ``lossless`` (warm orchestrated
-encode), ``runtime`` (parallel slab wall time) — has one *gating*
+encode), ``runtime`` (parallel slab wall time), ``transport``
+(schema 6: shm zero-copy pool wall times, gated on parallel
+decompress staying competitive with serial) — has one *gating*
 metric and a few informational ones; a gating metric past its section
 threshold yields a regressed :class:`Finding`, rendered as a GitHub
 ``::warning::`` annotation in CI.
@@ -42,8 +44,13 @@ SECTIONS = {
                  "info": ("cold_encode_us", "orch_decode_us"),
                  "unit": "us"},
     "runtime": {"gate": ("parallel_s",),
-                "info": ("serial_s", "parallel_decompress_s"),
+                "info": ("serial_s", "parallel_decompress_s",
+                         "serial_decompress_s"),
                 "unit": "s"},
+    "transport": {"gate": ("parallel_decompress_s",),
+                  "info": ("serial_decompress_s", "parallel_compress_s",
+                           "serial_compress_s"),
+                  "unit": "s"},
 }
 
 

@@ -28,7 +28,13 @@ class TestResolveWorkers:
 
     def test_auto_is_cpu_count(self):
         import os
-        assert resolve_workers("auto") == max(1, os.cpu_count() or 1)
+        try:
+            usable = len(os.sched_getaffinity(0)) or 1
+        except (AttributeError, OSError):
+            usable = os.cpu_count() or 1
+        # "auto" sizes to CPUs this process may run on (affinity/cgroup
+        # aware), not the machine-wide count
+        assert resolve_workers("auto") == max(1, usable)
 
     @pytest.mark.parametrize("bad", ["three", 2.5, True, -1, [2]])
     def test_rejects_garbage(self, bad):
@@ -105,11 +111,15 @@ class TestParallelSlabs:
             return [task(p) for p in payloads]
 
         monkeypatch.setattr(pool, "_run_batch", inline)
+        # grouping is a pickle-transport concern (_run_batch payloads);
+        # the shm transport groups identically but dispatches through
+        # its own daemon queue
         stream = pool.parallel_compress_slabs(
             field3d, 5, workers=2, min_parallel_bytes=0,
-            codec="cuszi", eb=1e-3, mode="abs")
+            transport="pickle", codec="cuszi", eb=1e-3, mode="abs")
         pool.parallel_decompress_slabs(stream, workers=2,
-                                       min_parallel_bytes=0)
+                                       min_parallel_bytes=0,
+                                       transport="pickle")
         # 8 slabs collapse into one contiguous group per worker
         assert calls == [2, 2]
 

@@ -1,0 +1,201 @@
+"""Out-of-core tiled path: byte-identity, budget maths, RSS bound."""
+
+from __future__ import annotations
+
+import io
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.runtime.tiled import (resolve_tile_planes, tiled_compress_file,
+                                 tiled_decompress_file)
+from repro.streaming import (SlabReader, SlabStreamWriter, compress_slabs,
+                             decompress_slabs, frame_slabs)
+
+from conftest import smooth_field
+
+
+@pytest.fixture
+def raw_field(tmp_path):
+    field = smooth_field((50, 44, 36), seed=9)
+    path = tmp_path / "field.raw"
+    field.tofile(path)
+    return field, str(path)
+
+
+class TestSlabStreamWriter:
+    def test_matches_frame_slabs(self):
+        blobs = [b"alpha", b"bb", b"c" * 100]
+        buf = io.BytesIO()
+        sw = SlabStreamWriter(buf, len(blobs))
+        for b in blobs:
+            sw.append_blob(b)
+        sw.close()
+        assert buf.getvalue() == frame_slabs(blobs)
+
+    def test_accepts_memoryviews(self):
+        blobs = [memoryview(b"zero-copy"), b"plain"]
+        buf = io.BytesIO()
+        sw = SlabStreamWriter(buf, 2)
+        for b in blobs:
+            sw.append_blob(b)
+        sw.close()
+        assert buf.getvalue() == frame_slabs(blobs)
+
+    def test_count_mismatch_raises(self):
+        sw = SlabStreamWriter(io.BytesIO(), 2)
+        sw.append_blob(b"only one")
+        with pytest.raises(ConfigError):
+            sw.close()
+        sw.append_blob(b"two")
+        with pytest.raises(ConfigError):
+            sw.append_blob(b"three")
+
+
+class TestTiledCompress:
+    @pytest.mark.parametrize("planes", [7, 8, 50])
+    def test_byte_identical_to_in_memory(self, raw_field, tmp_path,
+                                         planes):
+        field, raw = raw_field
+        out = str(tmp_path / "f.rpst")
+        info = tiled_compress_file(raw, field.shape, out_path=out,
+                                   tile_planes=planes, eb=1e-3)
+        with open(out, "rb") as f:
+            stream = f.read()
+        assert stream == compress_slabs(field, planes, eb=1e-3)
+        assert info["n_tiles"] == len(SlabReader(stream))
+        assert info["bytes_out"] == len(stream)
+
+    def test_rel_mode_streaming_range_matches(self, raw_field, tmp_path):
+        field, raw = raw_field
+        out = str(tmp_path / "f.rpst")
+        info = tiled_compress_file(raw, field.shape, out_path=out,
+                                   tile_planes=7, eb=1e-3, mode="rel")
+        with open(out, "rb") as f:
+            stream = f.read()
+        assert stream == compress_slabs(field, 7, eb=1e-3, mode="rel")
+        assert info["value_range"] \
+            == float(field.max() - field.min())
+
+    def test_budget_resolves_tile_planes(self, raw_field, tmp_path):
+        field, raw = raw_field
+        out = str(tmp_path / "f.rpst")
+        budget = 2 << 20
+        info = tiled_compress_file(raw, field.shape, out_path=out,
+                                   memory_budget_bytes=budget, eb=1e-3)
+        expect = resolve_tile_planes(field.shape, np.float32, budget)
+        assert info["tile_planes"] == expect
+        with open(out, "rb") as f:
+            assert f.read() == compress_slabs(field, expect, eb=1e-3)
+
+    def test_decompress_roundtrip(self, raw_field, tmp_path):
+        field, raw = raw_field
+        out = str(tmp_path / "f.rpst")
+        dec = str(tmp_path / "f.dec")
+        tiled_compress_file(raw, field.shape, out_path=out,
+                            tile_planes=8, eb=1e-3)
+        info = tiled_decompress_file(out, dec)
+        assert info["shape"] == field.shape
+        got = np.fromfile(dec, dtype=info["dtype"]).reshape(
+            info["shape"])
+        with open(out, "rb") as f:
+            ref = decompress_slabs(f.read())
+        assert np.array_equal(got, ref)
+
+    def test_size_mismatch_rejected(self, raw_field, tmp_path):
+        field, raw = raw_field
+        with pytest.raises(ConfigError, match="bytes on disk"):
+            tiled_compress_file(raw, (field.shape[0] + 1,
+                                      *field.shape[1:]),
+                                out_path=str(tmp_path / "x"),
+                                tile_planes=8)
+
+    def test_needs_tile_size_or_budget(self, raw_field, tmp_path):
+        field, raw = raw_field
+        with pytest.raises(ConfigError, match="tile_planes or"):
+            tiled_compress_file(raw, field.shape,
+                                out_path=str(tmp_path / "x"))
+
+    def test_resolve_tile_planes_bounds(self):
+        # one 128x128 float32 plane = 64 KiB; x8 workspace = 512 KiB
+        assert resolve_tile_planes((512, 128, 128), np.float32,
+                                   4 << 20) == 8
+        # never zero, never beyond the field
+        assert resolve_tile_planes((512, 128, 128), np.float32, 1) == 1
+        assert resolve_tile_planes((4, 8, 8), np.float32, 1 << 30) == 4
+
+
+_RSS_SCRIPT = textwrap.dedent("""
+    import resource, sys
+    import numpy as np
+    from repro.runtime.tiled import tiled_compress_file, \\
+        tiled_decompress_file
+
+    raw, out, dec = sys.argv[1], sys.argv[2], sys.argv[3]
+    PLANES, EDGE = 512, 128
+    plane_elems = EDGE * EDGE
+
+    # build the input file chunk-by-chunk: the builder itself must not
+    # raise the RSS high-water mark by the full field size
+    with open(raw, "wb") as fp:
+        for i in range(PLANES):
+            rng = np.random.default_rng(i)
+            fp.write(np.cumsum(rng.standard_normal(
+                plane_elems, dtype=np.float32)).astype(
+                np.float32).tobytes())
+
+    # warm up codec/plan allocations on one tile-sized field first so
+    # one-time buffers don't count against the tiled path
+    from repro.registry import get_compressor
+    warm = np.zeros((8, EDGE, EDGE), dtype=np.float32)
+    get_compressor("cuszi", eb=1e-3).compress(warm)
+    del warm
+
+    budget = 4 << 20
+    field_bytes = PLANES * plane_elems * 4
+    base_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    tiled_compress_file(raw, (PLANES, EDGE, EDGE), out_path=out,
+                        memory_budget_bytes=budget, eb=1e-3)
+    tiled_decompress_file(out, dec)
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    growth = (peak_kb - base_kb) * 1024
+    print(f"RESULT {growth} {field_bytes} {budget}")
+""")
+
+
+class TestRSSBound:
+    def test_peak_rss_stays_under_bound(self, tmp_path):
+        """A 32 MiB field compressed under a 4 MiB budget: RSS growth
+        must stay under half the field — the out-of-core contract —
+        and the stream must match the in-memory path byte for byte."""
+        raw = str(tmp_path / "big.raw")
+        out = str(tmp_path / "big.rpst")
+        dec = str(tmp_path / "big.dec")
+        env = dict(os.environ,
+                   PYTHONPATH="src" + os.pathsep
+                   + os.environ.get("PYTHONPATH", ""))
+        proc = subprocess.run(
+            [sys.executable, "-c", _RSS_SCRIPT, raw, out, dec],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(__file__)))
+        assert proc.returncode == 0, proc.stderr
+        line = [l for l in proc.stdout.splitlines()
+                if l.startswith("RESULT")][0]
+        growth, field_bytes, budget = map(int, line.split()[1:])
+        assert field_bytes >= 2 * budget  # field >= 2x the RSS budget
+        assert growth < field_bytes // 2, \
+            f"RSS grew {growth / 2**20:.1f} MiB on a " \
+            f"{field_bytes / 2**20:.0f} MiB field"
+
+        # decode is byte-exact: decompressing the tiled stream in-core
+        # reproduces the mmap-built input exactly
+        from repro.streaming import decompress_slabs as dec_slabs
+        with open(out, "rb") as f:
+            arr = dec_slabs(f.read())
+        got = np.fromfile(dec, dtype=np.float32).reshape(arr.shape)
+        assert np.array_equal(arr, got)
