@@ -69,7 +69,10 @@ def main(argv: list[str] | None = None) -> int:
              "shm pooled-compress speedup"),
             ("transport", "decompress_speedup",
              "shm pooled-decompress speedup"),
-            ("lossless", "warm_speedup_vs_gle", "warm-vs-GLE speedup")):
+            ("lossless", "warm_speedup_vs_gle", "warm-vs-GLE speedup"),
+            ("huffman", "decode_speedup_vs_loop",
+             "huffman LUT-vs-loop decode speedup"),
+            ("huffman", "decode_mb_s", "huffman LUT decode MB/s")):
         old = (baseline.get(section) or {}).get(key)
         new = (current.get(section) or {}).get(key)
         if old and new:
@@ -79,6 +82,9 @@ def main(argv: list[str] | None = None) -> int:
     if old_b and new_b:
         print(f"orchestrated bytes: {old_b} -> {new_b} "
               f"({(new_b - old_b) / old_b:+.2%})")
+    share = (current.get("huffman") or {}).get("decompress_stage_share")
+    if share is not None:
+        print(f"huffman share of pipeline decompress: {share:.1%}")
 
     n_reg = sum(1 for f in findings if f.regressed)
     print(f"{len(findings)} metric(s) compared, {n_reg} regressed "

@@ -20,6 +20,17 @@ container against the whole-container GLE pass it replaces — cold
 (sampling) and warm (plan-cache) encode, decode, the per-segment
 backend plan, and the bytes saved.
 
+Schema 7 adds a ``huffman`` section: the batch-parallel table-driven
+Huffman codec (:mod:`repro.huffman.codec`) timed on this field's real
+quant-code stream — encode/decode wall time and MB/s for the default
+``lut`` engine, the retained ``loop`` engine for the speedup ratio, the
+cold multi-symbol LUT build, chunk count and probe width, and the share
+of a full pipeline decompress spent in the Huffman stage (CI asserts it
+stays under half). The ``ginterp`` section gains a ``tune`` record —
+the autotune stage's wall time, its share of a warm compress, and the
+content-fingerprint cache counters — so retune reuse is part of the
+trajectory.
+
 Schema 6 adds a ``transport`` section: serial vs pooled wall times for
 both directions on a 128^3 field (big enough to clear the shm floors),
 the shm-vs-pickled byte accounting from
@@ -46,6 +57,7 @@ import json
 import os
 import time
 
+import numpy as np
 import pytest
 
 EMIT = os.environ.get("REPRO_BENCH_EMIT", "")
@@ -297,6 +309,84 @@ def test_emit_pipeline_trajectory():
         "segments": segments,
     }
 
+    # schema 7: the batch-parallel table-driven Huffman engine on this
+    # field's real quant-code stream (the traced ginterp compress above),
+    # plus the stage share Huffman holds in a full pipeline decompress
+    from repro.core.ginterp.autotune import autotune_cache_stats
+    from repro.huffman import (LUT_PROBE_BITS, huffman_decode,
+                               huffman_encode)
+    from repro.huffman.canonical import (MAX_CODE_LEN, build_lut_tables,
+                                         clear_codebook_caches)
+    from repro.huffman.codec import DEFAULT_CHUNK
+    from repro.huffman.histogram import histogram
+    from repro.huffman.tree import code_lengths
+
+    hcodes = np.ascontiguousarray(res.codes).ravel()
+    alph = max(1024, int(hcodes.max()) + 1)
+    hlengths = code_lengths(histogram(hcodes, alph), MAX_CODE_LEN)
+    clear_codebook_caches()
+    t0 = time.perf_counter()
+    build_lut_tables(hlengths)
+    lut_build_s = time.perf_counter() - t0
+
+    hstream = huffman_encode(hcodes, alph, DEFAULT_CHUNK)
+    ref_syms = hcodes.astype(np.uint32)
+    assert np.array_equal(huffman_decode(hstream, engine="lut"), ref_syms)
+    assert np.array_equal(huffman_decode(hstream, engine="loop"), ref_syms)
+    enc_s = _best_inner(lambda: huffman_encode(hcodes, alph,
+                                               DEFAULT_CHUNK), 5)
+    lut_s = _best_inner(lambda: huffman_decode(hstream, engine="lut"), 5)
+    loop_s = _best_inner(lambda: huffman_decode(hstream, engine="loop"), 3)
+
+    # stage shares inside the full pipeline, from one traced round trip:
+    # the Huffman share of decompress (CI gates it under 0.5) and the
+    # tune share of a warm compress (the content-fingerprint cache
+    # should answer the retune, satellite of the autotune work)
+    comp = get_compressor("cuszi", eb=EB, mode="rel")
+    pblob = comp.compress(data)            # warm plan/tune caches
+    comp.decompress(pblob)                 # warm table/LUT caches
+    dec_total = dec_huff = float("inf")
+    for _ in range(3):                     # best-of-3: scheduler noise
+        with telemetry.recording() as hrec:
+            comp.decompress(pblob)
+        tot = sum(sp.duration_s for sp in hrec.spans
+                  if sp.name == "decompress")
+        if tot < dec_total:
+            dec_total = tot
+            dec_huff = sum(sp.duration_s for sp in hrec.spans
+                           if sp.name == "huffman")
+    with telemetry.recording() as crec:
+        comp.compress(data)
+    comp_total = sum(sp.duration_s for sp in crec.spans
+                     if sp.name == "compress")
+    tune_s = sum(sp.duration_s for sp in crec.spans if sp.name == "tune")
+
+    sym_mb = hcodes.size * 4 / 1e6         # decoded uint32 symbol bytes
+    huffman = {
+        "n_symbols": int(hcodes.size),
+        "alphabet": int(alph),
+        "chunk_size": DEFAULT_CHUNK,
+        "n_chunks": int(hstream.chunk_bits.size),
+        "probe_bits": LUT_PROBE_BITS,
+        "stream_bytes": int(hstream.nbytes),
+        "lut_build_s": round(lut_build_s, 6),
+        "encode_s": round(enc_s, 6),
+        "decode_s": round(lut_s, 6),
+        "loop_decode_s": round(loop_s, 6),
+        "decode_speedup_vs_loop": round(loop_s / lut_s, 4)
+        if lut_s else 0.0,
+        "encode_mb_s": round(sym_mb / enc_s, 2) if enc_s else 0.0,
+        "decode_mb_s": round(sym_mb / lut_s, 2) if lut_s else 0.0,
+        "decompress_stage_share": round(dec_huff / dec_total, 4)
+        if dec_total else 0.0,
+    }
+    ginterp["tune"] = {
+        "tune_s": round(tune_s, 6),
+        "compress_stage_share": round(tune_s / comp_total, 4)
+        if comp_total else 0.0,
+        "autotune_cache": autotune_cache_stats(),
+    }
+
     # one quality-audited run so the bench ledger always carries a
     # sampled error-bound histogram for ``repro doctor`` to inspect
     from repro.telemetry import caches, quality, recorder
@@ -307,7 +397,7 @@ def test_emit_pipeline_trajectory():
         quality.disable()
 
     doc = {
-        "schema": 6,
+        "schema": 7,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
@@ -315,12 +405,14 @@ def test_emit_pipeline_trajectory():
         # per-section regression tolerance, read by the sentinel from
         # the *committed* copy of this file (the baseline owns its gate)
         "thresholds": {"ginterp": 0.25, "lossless": 0.25,
-                       "runtime": 0.25, "transport": 0.25},
+                       "runtime": 0.25, "transport": 0.25,
+                       "huffman": 0.25},
         "results": results,
         "runtime": runtime,
         "transport": transport,
         "ginterp": ginterp,
         "lossless": lossless,
+        "huffman": huffman,
         "caches": caches.snapshot(),
     }
     path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"

@@ -22,7 +22,8 @@ from repro.common.errors import CodecError
 from repro.common.lossless_wrap import unwrap_lossless, wrap_lossless
 from repro.common.quantizer import DEFAULT_RADIUS
 from repro.core.pipeline import resolve_eb
-from repro.huffman import HuffmanStream, huffman_decode, huffman_encode
+from repro.huffman import (DEFAULT_CHUNK, HuffmanStream,
+                           huffman_decode, huffman_encode)
 from repro.registry import register
 
 __all__ = ["CuSZ"]
@@ -36,7 +37,7 @@ class CuSZ:
 
     def __init__(self, eb: float = 1e-3, mode: str = "rel",
                  lossless: str = "none", radius: int = DEFAULT_RADIUS,
-                 huffman_chunk: int = 2048):
+                 huffman_chunk: int = DEFAULT_CHUNK):
         self.eb = float(eb)
         self.mode = mode
         self.lossless = lossless

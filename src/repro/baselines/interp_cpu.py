@@ -22,7 +22,8 @@ from repro.core.ginterp.engine import (InterpSpec, interp_compress,
                                        interp_decompress)
 from repro.core.ginterp.plans import get_plan
 from repro.core.pipeline import resolve_eb
-from repro.huffman import HuffmanStream, huffman_decode, huffman_encode
+from repro.huffman import (DEFAULT_CHUNK, HuffmanStream,
+                           huffman_decode, huffman_encode)
 
 __all__ = ["InterpCPUBase", "pow2ceil"]
 
@@ -41,7 +42,7 @@ class InterpCPUBase:
     def __init__(self, eb: float = 1e-3, mode: str = "rel",
                  lossless: str | None = None,
                  radius: int = DEFAULT_RADIUS, tune: bool = True,
-                 huffman_chunk: int = 2048):
+                 huffman_chunk: int = DEFAULT_CHUNK):
         self.eb = float(eb)
         self.mode = mode
         self.lossless = lossless if lossless is not None \

@@ -28,8 +28,9 @@ from repro.core.ginterp.autotune import alpha_from_eb, autotune
 from repro.core.ginterp.engine import (InterpSpec, interp_compress,
                                        interp_decompress)
 from repro.core.ginterp.plans import get_plan
-from repro.huffman import (HuffmanStream, best_static_profile,
-                           huffman_decode, huffman_encode, static_lengths)
+from repro.huffman import (DEFAULT_CHUNK, HuffmanStream,
+                           best_static_profile, huffman_decode,
+                           huffman_encode, static_lengths)
 from repro.registry import register
 
 __all__ = ["CuSZi", "CompressionStats", "resolve_eb",
@@ -126,7 +127,7 @@ class CuSZi:
                  tune: bool = True, anchor_stride: int | None = None,
                  window_shape: tuple[int, ...] | None = None,
                  use_windows: bool = True, alpha: float | None = None,
-                 beta: float | None = None, huffman_chunk: int = 2048,
+                 beta: float | None = None, huffman_chunk: int = DEFAULT_CHUNK,
                  pad: bool = False, codebook: str = "dynamic"):
         self.eb = float(eb)
         self.mode = mode

@@ -7,10 +7,12 @@ entries), and coarse-grained encoding where each thread block owns a fixed
 chunk of symbols and writes an independently decodable bitstream.
 
 The NumPy transcription keeps exactly that structure: chunks are encoded
-into byte-aligned payloads via one vectorized bit scatter, and decoded by
-stepping all chunks *simultaneously* — one decoded symbol per chunk per
-step — which is the vectorized analogue of one-thread-block-per-chunk
-decoding.
+into byte-aligned payloads via one vectorized variable-length bit scatter
+(:func:`repro.common.bitpack.pack_varbits`), and decoded by stepping all
+chunks *simultaneously* — each batched advance probes a multi-symbol
+lookup table (:func:`repro.huffman.canonical.build_lut_tables`) that
+emits every complete codeword in the next ``LUT_PROBE_BITS`` bits —
+which is the vectorized analogue of one-thread-block-per-chunk decoding.
 """
 
 from repro.huffman.histogram import histogram, topk_coverage
@@ -18,16 +20,23 @@ from repro.huffman.tree import code_lengths
 from repro.huffman.canonical import (
     canonical_codebook,
     build_decode_table,
+    build_lut_tables,
+    warm_lengths,
+    warm_tables,
     MAX_CODE_LEN,
+    LUT_PROBE_BITS,
 )
 from repro.huffman.codec import (
     huffman_encode,
     huffman_decode,
     HuffmanStream,
+    DECODE_ENGINES,
+    DEFAULT_CHUNK,
 )
 from repro.huffman.static import (
     static_lengths,
     best_static_profile,
+    prewarm_static,
     STATIC_SPREADS,
 )
 
@@ -37,11 +46,18 @@ __all__ = [
     "code_lengths",
     "canonical_codebook",
     "build_decode_table",
+    "build_lut_tables",
+    "warm_lengths",
+    "warm_tables",
     "MAX_CODE_LEN",
+    "LUT_PROBE_BITS",
     "huffman_encode",
     "huffman_decode",
     "HuffmanStream",
+    "DECODE_ENGINES",
+    "DEFAULT_CHUNK",
     "static_lengths",
     "best_static_profile",
+    "prewarm_static",
     "STATIC_SPREADS",
 ]

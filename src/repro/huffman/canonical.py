@@ -1,21 +1,32 @@
-"""Canonical code assignment and the flat decode table.
+"""Canonical code assignment and the table-driven decode surfaces.
 
 Canonical Huffman codes are fully determined by the per-symbol code
 *lengths*, so only the length array travels in the compressed stream. The
-decoder expands it into a ``2**MAX_CODE_LEN``-entry lookup table mapping any
-window of ``MAX_CODE_LEN`` bits to ``(symbol, code length)`` — one gather
-per decoded symbol, which is what makes the all-chunks-at-once decode loop
-in :mod:`repro.huffman.codec` fast.
+decoder expands it into two lookup surfaces:
 
-Both the codebook and the decode table are pure functions of the length
-array, and static codebooks (:mod:`repro.huffman.static`) reuse the same
-handful of length vectors across every chunk-stream of a run, so both are
-memoized in small LRU caches keyed on the length bytes. Cached arrays are
-returned read-only so one caller cannot corrupt another's view.
+* the **flat table** — ``2**MAX_CODE_LEN`` entries mapping any window of
+  ``MAX_CODE_LEN`` bits to ``(symbol, code length)``; one gather per
+  decoded symbol, used as the rare-path fallback;
+* the **multi-symbol LUT** (:func:`build_lut_tables`) — ``2**K`` entries
+  (``K = LUT_PROBE_BITS``) mapping the next ``K`` bits to *every complete
+  codeword inside the probe*: ``(symbols[:count], cumulative bits)``.
+  One gather decodes up to ``K`` symbols, which is what lets the
+  chunk-parallel decode loop in :mod:`repro.huffman.codec` consume tens
+  of bits per 64-bit window instead of one codeword per table lookup.
+
+All three surfaces are pure functions of the length array, and static
+codebooks (:mod:`repro.huffman.static`) reuse the same handful of length
+vectors across every chunk-stream of a run, so each is memoized in an LRU
+cache keyed on the length bytes. The decode-table and LUT caches are
+additionally **byte-budgeted** (their entries are 100s of KiB each;
+count-based eviction alone let the table cache grow unbounded in
+multi-field runs). Cached arrays are returned read-only so one caller
+cannot corrupt another's view.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 
@@ -26,42 +37,78 @@ from repro.telemetry import caches
 from repro.common.errors import CodecError
 from repro.common.scan import concat_ranges
 
-__all__ = ["canonical_codebook", "build_decode_table", "MAX_CODE_LEN",
-           "clear_codebook_caches", "codebook_cache_stats"]
+__all__ = ["canonical_codebook", "build_decode_table", "build_lut_tables",
+           "MAX_CODE_LEN", "LUT_PROBE_BITS",
+           "clear_codebook_caches", "codebook_cache_stats",
+           "warm_lengths", "warm_tables"]
 
 #: Single flat-table decode requires bounded code lengths; 16 bits keeps the
 #: table at 64 Ki entries while supporting the 1024-symbol quant alphabet.
 MAX_CODE_LEN = 16
 
+#: Probe width ``K`` of the multi-symbol LUT: each decode gather reads the
+#: next ``K`` payload bits and emits every complete codeword inside them.
+#: The default is ``MAX_CODE_LEN`` itself: a full-width probe can never
+#: meet a codeword it cannot finish, so the decode loop drops its
+#: rare-path fallback branch entirely (see :mod:`repro.huffman.codec`),
+#: at the price of a larger build (~3 MiB, ~5 ms, amortized by the LUT
+#: cache and worker warm shipping). Narrower probes trade decode speed
+#: for build cost/memory; see docs/PERFORMANCE.md for the measured table.
+LUT_PROBE_BITS = int(os.environ.get("REPRO_HUFFMAN_PROBE_BITS", "16"))
+
 #: distinct length vectors kept per cache; static families have < 10 members
 #: and dynamic codebooks are per-field, so a few dozen covers real runs
 _CACHE_SIZE = 64
+
+#: byte budgets for the expanded decode surfaces (the codebook cache stays
+#: count-bounded: its entries are a few KiB). A flat table is ~320 KiB and
+#: a full-width probe LUT ~3 MiB, so these budgets hold the whole static
+#: family plus several dynamic codebooks — enough for real multi-field
+#: runs — while bounding worst-case growth.
+TABLE_CACHE_BYTES = 12 << 20
+LUT_CACHE_BYTES = 24 << 20
 
 _cache_lock = threading.Lock()
 _codebook_cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
 _table_cache: OrderedDict[bytes, tuple[np.ndarray, np.ndarray]] = \
     OrderedDict()
+_lut_cache: OrderedDict[tuple, tuple] = OrderedDict()
 _cache_stats = {"codebook_hits": 0, "codebook_misses": 0,
                 "codebook_evictions": 0,
-                "table_hits": 0, "table_misses": 0, "table_evictions": 0}
+                "table_hits": 0, "table_misses": 0, "table_evictions": 0,
+                "lut_hits": 0, "lut_misses": 0, "lut_evictions": 0}
+#: running byte totals of the byte-budgeted caches (values only)
+_cache_bytes = {"table": 0, "lut": 0}
+
+_BYTE_BUDGETS = {"table": TABLE_CACHE_BYTES, "lut": LUT_CACHE_BYTES}
 
 
 def clear_codebook_caches() -> None:
-    """Drop both LRU caches (tests; long-lived processes never need to)."""
+    """Drop all three LRU caches (tests; long-lived processes never
+    need to)."""
     with _cache_lock:
         _codebook_cache.clear()
         _table_cache.clear()
+        _lut_cache.clear()
         for k in _cache_stats:
             _cache_stats[k] = 0
+        for k in _cache_bytes:
+            _cache_bytes[k] = 0
 
 
 def codebook_cache_stats() -> dict[str, int]:
-    """Snapshot of hit/miss counters for both caches."""
+    """Snapshot of hit/miss counters for all three caches."""
     with _cache_lock:
         return dict(_cache_stats)
 
 
-def _cache_get(cache: OrderedDict, key: bytes, kind: str):
+def _entry_nbytes(value) -> int:
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    return sum(v.nbytes for v in value if isinstance(v, np.ndarray))
+
+
+def _cache_get(cache: OrderedDict, key, kind: str):
     with _cache_lock:
         hit = cache.get(key)
         if hit is not None:
@@ -74,24 +121,47 @@ def _cache_get(cache: OrderedDict, key: bytes, kind: str):
         return None
 
 
-def _cache_put(cache: OrderedDict, key: bytes, value, kind: str) -> None:
+def _cache_put(cache: OrderedDict, key, value, kind: str) -> None:
+    """Insert under the count cap and, where declared, the byte budget.
+
+    Byte-budgeted kinds evict least-recently-used entries until the new
+    total fits — the eviction pressure ``repro doctor`` watches via the
+    registry's ``size_bytes`` / ``byte_limit`` gauges.
+    """
+    budget = _BYTE_BUDGETS.get(kind)
     with _cache_lock:
         cache[key] = value
         cache.move_to_end(key)
-        while len(cache) > _CACHE_SIZE:
-            cache.popitem(last=False)
+        if budget is not None:
+            _cache_bytes[kind] += _entry_nbytes(value)
+        while len(cache) > _CACHE_SIZE or (
+                budget is not None and _cache_bytes[kind] > budget
+                and len(cache) > 1):
+            _k, evicted = cache.popitem(last=False)
+            if budget is not None:
+                _cache_bytes[kind] -= _entry_nbytes(evicted)
             _cache_stats[f"{kind}_evictions"] += 1
 
 
 def _registry_stats(cache: OrderedDict, kind: str,
                     nbytes) -> dict[str, int]:
     with _cache_lock:
-        return {"hits": _cache_stats[f"{kind}_hits"],
-                "misses": _cache_stats[f"{kind}_misses"],
-                "evictions": _cache_stats[f"{kind}_evictions"],
-                "size": len(cache), "limit": _CACHE_SIZE,
-                "size_bytes": sum(len(k) + nbytes(v)
-                                  for k, v in cache.items())}
+        stats = {"hits": _cache_stats[f"{kind}_hits"],
+                 "misses": _cache_stats[f"{kind}_misses"],
+                 "evictions": _cache_stats[f"{kind}_evictions"],
+                 "size": len(cache), "limit": _CACHE_SIZE,
+                 "size_bytes": sum(_key_nbytes(k) + nbytes(v)
+                                   for k, v in cache.items())}
+        budget = _BYTE_BUDGETS.get(kind)
+        if budget is not None:
+            stats["byte_limit"] = budget
+        return stats
+
+
+def _key_nbytes(key) -> int:
+    if isinstance(key, bytes):
+        return len(key)
+    return sum(len(k) if isinstance(k, bytes) else 8 for k in key)
 
 
 caches.register(
@@ -102,6 +172,9 @@ caches.register(
     "huffman.table",
     lambda: _registry_stats(_table_cache, "table",
                             lambda v: v[0].nbytes + v[1].nbytes))
+caches.register(
+    "huffman.lut",
+    lambda: _registry_stats(_lut_cache, "lut", _entry_nbytes))
 
 
 def _length_key(lengths: np.ndarray) -> bytes:
@@ -183,4 +256,106 @@ def build_decode_table(lengths: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     lens.setflags(write=False)
     _cache_put(_table_cache, key, (symbols, lens), "table")
     return symbols, lens
+
+
+def build_lut_tables(lengths: np.ndarray,
+                     probe_bits: int | None = None
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand code lengths into the multi-symbol probe LUT.
+
+    Returns ``(count, cum_bits, syms)``, all read-only, indexed by the
+    next ``probe_bits`` payload bits (MSB-first):
+
+    * ``count[w]`` — how many *complete* codewords the probe window ``w``
+      contains (0 means the first codeword overruns the probe: take the
+      flat-table fallback);
+    * ``syms[w, :count[w]]`` — the decoded symbols, in stream order;
+    * ``cum_bits[w, j]`` — total bits consumed after emitting the first
+      ``j`` symbols, with ``cum_bits[w, 0] == 0``: the decode loop
+      advances its bit cursor by ``cum_bits[w, emit]`` without masking
+      out zero-emit lanes, and any prefix is directly addressable when
+      the chunk ends mid-entry.
+
+    Construction simulates chained flat-table decodes per row, vectorized
+    across all ``2**probe_bits`` rows at once. A codeword only counts
+    when it fits *entirely* inside the probe's real bits — the low-order
+    zero padding introduced by the row shift is never interpreted — so a
+    LUT probe can never mis-decode across the probe boundary.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    if probe_bits is None:
+        probe_bits = LUT_PROBE_BITS
+    if not 1 <= probe_bits <= MAX_CODE_LEN:
+        raise CodecError(
+            f"probe width {probe_bits} outside [1, {MAX_CODE_LEN}]")
+    key = (_length_key(lengths), int(probe_bits))
+    cached = _cache_get(_lut_cache, key, "lut")
+    if cached is not None:
+        return cached
+    table_syms, table_lens = build_decode_table(lengths)
+    size = 1 << probe_bits
+    mask = np.int32(size - 1)
+    up = MAX_CODE_LEN - probe_bits
+    count = np.zeros(size, dtype=np.uint8)
+    cum = np.zeros((size, probe_bits + 1), dtype=np.uint8)
+    # uint16 symbol slots halve the dominant LUT plane whenever the
+    # alphabet allows it (a MAX_CODE_LEN=16 code admits at most 2**16
+    # codewords, so only sparse oversized alphabets need uint32)
+    sym_dtype = np.uint16 if lengths.size <= (1 << 16) else np.uint32
+    syms = np.zeros((size, probe_bits), dtype=sym_dtype)
+    lens32 = table_lens.astype(np.int32)
+    # rows drop out of `live` once their next codeword overruns the
+    # probe, so iteration j only touches rows with >= j+1 symbols; with
+    # int32 row state the whole build runs at a fraction of the naive
+    # all-rows-every-iteration cost (it is the cold-decode hot path)
+    live = np.arange(size, dtype=np.int32)
+    consumed = np.zeros(size, dtype=np.int32)
+    for j in range(probe_bits):
+        idx = ((live << consumed) & mask) << up
+        ln = lens32[idx]
+        fit = (ln > 0) & (consumed + ln <= probe_bits)
+        live = live[fit]
+        if live.size == 0:
+            break
+        consumed = consumed[fit] + ln[fit]
+        syms[live, j] = table_syms[idx[fit]]
+        cum[live, j + 1] = consumed
+        count[live] += 1
+    smax = max(int(count.max()), 1)
+    cum = np.ascontiguousarray(cum[:, :smax + 1])
+    syms = np.ascontiguousarray(syms[:, :smax])
+    for arr in (count, cum, syms):
+        arr.setflags(write=False)
+    entry = (count, cum, syms)
+    _cache_put(_lut_cache, key, entry, "lut")
+    return entry
+
+
+def warm_lengths(limit: int = 8) -> list[bytes]:
+    """Raw length vectors (uint8 bytes) of the most-recently-used
+    codebooks, newest first — the parent ships these to persistent shm
+    workers so their decode tables and LUTs are built before the first
+    pooled request instead of on it."""
+    with _cache_lock:
+        keys = list(_codebook_cache.keys())
+    return keys[::-1][:max(0, int(limit))]
+
+
+def warm_tables(length_blobs) -> int:
+    """Prebuild the flat table and probe LUT for each raw length vector
+    (as produced by :func:`warm_lengths`). Invalid blobs are skipped —
+    a stale warm hint must never fail a worker. Returns how many
+    codebooks were warmed."""
+    warmed = 0
+    for blob in length_blobs:
+        try:
+            lengths = np.frombuffer(blob, dtype=np.uint8).astype(np.int64)
+            if lengths.size == 0:
+                continue
+            build_decode_table(lengths)
+            build_lut_tables(lengths)
+            warmed += 1
+        except (CodecError, ValueError):
+            continue
+    return warmed
 

@@ -5,16 +5,25 @@ fixed-size chunks (one per thread block on the GPU); every chunk's bitstream
 starts on a byte boundary, and per-chunk bit lengths are recorded so chunks
 are independently decodable.
 
-* **Encode** is a single vectorized bit scatter: per-symbol bit positions
-  come from a prefix sum of code lengths, then one pass per bit index of the
-  longest codeword writes all symbols' bits at once.
-* **Decode** steps all chunks simultaneously — per step, one 64-bit window
-  gather per chunk decodes up to three codewords via the flat table — the
-  NumPy analogue of the one-thread-block-per-chunk GPU decoder.
+* **Encode** is two vectorized passes: per-symbol bit offsets come from an
+  exclusive prefix sum of gathered code lengths, then one
+  :func:`repro.common.bitpack.pack_varbits` call scatters every codeword
+  into the byte stream through three ``bitwise_or.reduceat`` planes — no
+  per-bit or per-symbol Python loop.
+* **Decode** steps all chunks simultaneously. The default ``lut`` engine
+  gathers one 64-bit window per chunk per outer step and then chains
+  multi-symbol LUT probes inside it: each probe reads the next ``K``
+  bits (:data:`repro.huffman.canonical.LUT_PROBE_BITS`) and emits every
+  complete codeword they contain in a single gather, falling back to the
+  flat ``MAX_CODE_LEN`` table only for the rare codeword wider than the
+  probe. The retained ``loop`` engine is the previous
+  one-codeword-per-table-lookup decoder, kept for cross-engine
+  equivalence testing (byte-identical output is asserted in CI).
 """
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from dataclasses import dataclass
@@ -22,17 +31,28 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
-from repro.common.errors import CodecError
+from repro.common.bitpack import pack_varbits
+from repro.common.errors import CodecError, CorruptStreamError
 from repro.huffman.canonical import (MAX_CODE_LEN, build_decode_table,
-                                     canonical_codebook)
+                                     build_lut_tables, canonical_codebook)
 from repro.huffman.histogram import histogram
 from repro.huffman.tree import code_lengths
 
 __all__ = ["huffman_encode", "huffman_decode", "HuffmanStream",
-           "DEFAULT_CHUNK"]
+           "DEFAULT_CHUNK", "DECODE_ENGINES"]
 
-DEFAULT_CHUNK = 2048
+#: default symbols per chunk for new streams. 256 (was 2048) widens the
+#: chunk-parallel front the batched LUT decoder advances over by 8x —
+#: the decode wall scales with symbols-per-chunk, not stream length —
+#: at the cost of 4 bytes of chunk table per extra chunk (~2% of a
+#: typical 64**3 container before the orchestrator losslessly packs the
+#: highly regular chunk table back down). Streams self-describe their
+#: chunk size, so any chunk size remains decodable by both engines.
+DEFAULT_CHUNK = 256
 _HDR = struct.Struct("<QIIII")  # n_symbols, alphabet, chunk_size, n_chunks, crc32
+
+#: decode engines selectable per call or via ``REPRO_HUFFMAN_ENGINE``
+DECODE_ENGINES = ("lut", "loop")
 
 
 @dataclass
@@ -58,10 +78,12 @@ class HuffmanStream:
     @classmethod
     def from_bytes(cls, blob: bytes) -> "HuffmanStream":
         if len(blob) < _HDR.size:
-            raise CodecError("truncated Huffman stream header")
+            raise CorruptStreamError("truncated Huffman stream header")
         n_symbols, alphabet, chunk_size, n_chunks, crc = \
             _HDR.unpack_from(blob, 0)
         pos = _HDR.size
+        if len(blob) < pos + alphabet + 4 * n_chunks:
+            raise CorruptStreamError("truncated Huffman stream tables")
         lengths = np.frombuffer(blob, np.uint8, alphabet, pos)
         pos += alphabet
         chunk_bits = np.frombuffer(blob, np.uint32, n_chunks, pos)
@@ -112,7 +134,6 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
 
     with telemetry.span("huffman.pack", n_symbols=n) as sp:
         sym_len = lengths[codes]                   # int64 per-symbol lengths
-        sym_code = codebook[codes].astype(np.int64)
         n_chunks = -(-n // chunk_size)
         bounds = np.arange(0, n_chunks * chunk_size, chunk_size)
 
@@ -134,15 +155,7 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
         pos = start_global + np.cumsum(delta)
 
         total_bytes = int(chunk_byte_off[-1])
-        bits = np.zeros(total_bytes * 8, dtype=np.uint8)
-        max_len = int(sym_len.max())
-        for b in range(max_len):
-            mask = sym_len > b
-            shift = sym_len[mask] - 1 - b
-            bits[pos[mask] + b] = \
-                ((sym_code[mask] >> shift) & 1).astype(np.uint8)
-        payload = np.packbits(bits) if total_bytes \
-            else np.empty(0, np.uint8)
+        payload = pack_varbits(codebook[codes], sym_len, pos, total_bytes)
         sp.set(bytes_out=int(payload.size), n_chunks=int(n_chunks))
     return HuffmanStream(n_symbols=n, alphabet_size=alphabet_size,
                          chunk_size=chunk_size,
@@ -151,44 +164,214 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
                          crc32=zlib.crc32(payload.tobytes()))
 
 
-def huffman_decode(stream: HuffmanStream) -> np.ndarray:
-    """Decode a :class:`HuffmanStream` back into its uint32 symbol array."""
+def huffman_decode(stream: HuffmanStream,
+                   engine: str | None = None) -> np.ndarray:
+    """Decode a :class:`HuffmanStream` back into its uint32 symbol array.
+
+    ``engine`` selects the decoder: ``"lut"`` (default; multi-symbol
+    probe, chunk-parallel) or ``"loop"`` (legacy one-symbol-per-lookup
+    reference). ``REPRO_HUFFMAN_ENGINE`` overrides the default. Both
+    engines produce byte-identical output and raise
+    :class:`~repro.common.errors.CorruptStreamError` on the same corrupt
+    inputs.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_HUFFMAN_ENGINE", "lut")
+    if engine not in DECODE_ENGINES:
+        raise CodecError(f"unknown Huffman decode engine {engine!r}")
     with telemetry.span("huffman.unpack", n_symbols=stream.n_symbols,
-                        bytes_in=int(stream.payload.size)):
-        return _huffman_decode(stream)
+                        bytes_in=int(stream.payload.size), engine=engine):
+        if engine == "lut":
+            return _decode_lut(stream)
+        return _decode_loop(stream)
 
 
-def _huffman_decode(stream: HuffmanStream) -> np.ndarray:
+def _decode_prepare(stream: HuffmanStream):
+    """Shared validation + per-chunk cursor state for both engines."""
     n = stream.n_symbols
-    if n == 0:
-        return np.empty(0, dtype=np.uint32)
     chunk_size = stream.chunk_size
+    if chunk_size < 1:
+        raise CorruptStreamError("chunk size must be >= 1")
     n_chunks = int(stream.chunk_bits.size)
     if n_chunks != -(-n // chunk_size):
-        raise CodecError("chunk count inconsistent with symbol count")
-    table_sym, table_len = build_decode_table(stream.lengths)
-
+        raise CorruptStreamError("chunk count inconsistent with symbol count")
     if zlib.crc32(np.ascontiguousarray(stream.payload).tobytes()) \
             != stream.crc32:
-        raise CodecError("Huffman payload checksum mismatch")
+        raise CorruptStreamError("Huffman payload checksum mismatch")
     chunk_bytes = -(-stream.chunk_bits.astype(np.int64) // 8)
     chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
     if int(chunk_byte_off[-1]) != stream.payload.size:
-        raise CodecError("payload size mismatch")
-    # pad so 8-byte windows never read past the end
+        raise CorruptStreamError("payload size mismatch")
+    # pad so window gathers never read past the end
     pay = np.concatenate([stream.payload, np.zeros(8, np.uint8)])
-    windows8 = np.lib.stride_tricks.sliding_window_view(pay, 8)
-
     counts = np.full(n_chunks, chunk_size, dtype=np.int64)
     counts[-1] = n - chunk_size * (n_chunks - 1)
     bitpos = chunk_byte_off[:-1] * 8
     bit_end = bitpos + stream.chunk_bits.astype(np.int64)
+    return pay, counts, bitpos, bit_end
+
+
+def _decode_lut(stream: HuffmanStream) -> np.ndarray:
+    """Chunk-parallel multi-symbol LUT decode.
+
+    One batched advance per step: every still-active chunk gathers the
+    32-bit big-endian window at its bit cursor, probes the next
+    ``probe_bits`` bits through the multi-symbol LUT, and advances by
+    every complete codeword the probe contained (a ``<= 7``-bit byte
+    alignment plus a ``<= 16``-bit probe always fits the window, so no
+    step ever stalls). Probes that hit a codeword wider than the probe
+    take the flat-table fallback within the same step. Symbol *emission*
+    is deferred: steps only record ``(probe row, output start, emit
+    count)`` triples, and one ragged scatter at the end expands every
+    probe of every step into the output array — so per-step cost is a
+    handful of width-``n_chunks`` gathers and wall time scales with the
+    longest chunk, not the sum of chunk lengths.
+    """
+    n = stream.n_symbols
+    if n == 0:
+        return np.empty(0, dtype=np.uint32)
+    pay, counts, bitpos, bit_end = _decode_prepare(stream)
+    windows8 = np.lib.stride_tricks.sliding_window_view(pay, 8)
+    n_chunks = counts.size
+    table_sym, table_len = build_decode_table(stream.lengths)
+    lut_count, lut_cum, lut_syms = build_lut_tables(stream.lengths)
+    probe_bits = _probe_width(lut_count)
+    # flattened cum-bits gather (row*stride + emit) beats 2-D fancy
+    # indexing in the slot loops below; the leading zero column of
+    # ``lut_cum`` makes zero-emit lanes advance by 0 with no masking
+    cum_flat = lut_cum.ravel()
+    cstride = lut_cum.shape[1]
+    kmask = np.int64((1 << probe_bits) - 1)
+    fmask = np.int64((1 << MAX_CODE_LEN) - 1)
+    # chained probe slots per gathered word: after <= 7 alignment bits a
+    # 64-bit word always holds this many probes of typical advance
+    slots = max(1, (64 - 7) // probe_bits)
+
+    base = np.arange(n_chunks, dtype=np.int64) * stream.chunk_size
+    decoded = np.zeros(n_chunks, dtype=np.int64)
+    active = np.arange(n_chunks)
+    full_probe = probe_bits == MAX_CODE_LEN
+    probes, starts, emits = [], [], []      # LUT probes, replayed at the end
+    fb_wins, fb_starts = [], []             # flat-table fallback singles
+    while active.size:
+        bp = bitpos[active]
+        byte = np.minimum(bp >> 3, pay.size - 8)  # drift-safe gather
+        # big-endian *signed* view: arithmetic shift then mask extracts
+        # the same bit field a logical shift would, without uint64
+        # mixed-dtype shift headaches
+        word = windows8[byte].view(">i8").ravel().astype(np.int64)
+        off0 = bp & 7
+        off = off0.copy()                    # bit cursor within the word
+        here = base[active] + decoded[active]
+        rem = counts[active] - decoded[active]
+        if full_probe:
+            # a full-width probe always contains >= 1 complete codeword
+            # of a valid stream (no codeword outgrows MAX_CODE_LEN), so
+            # the fallback branch vanishes; and 7 + slots*MAX_CODE_LEN
+            # <= 64 keeps every slot's shift inside the gathered word
+            for _ in range(slots):
+                probe = (word >> (64 - MAX_CODE_LEN - off)) & kmask
+                raw = lut_count[probe]
+                if np.any((raw == 0) & (rem > 0)):
+                    raise CorruptStreamError(
+                        "corrupt Huffman payload (invalid codeword)")
+                emit = np.minimum(raw, rem)
+                adv = cum_flat[probe * cstride + emit]
+                probes.append(probe)
+                starts.append(here.copy())
+                emits.append(emit)
+                off += adv
+                here += emit
+                rem -= emit
+            bitpos[active] += off - off0
+            decoded[active] = counts[active] - rem
+            active = active[rem > 0]
+            continue
+        for _ in range(slots):
+            # a slot is feasible while the widest codeword still fits the
+            # word; infeasible lanes idle until the next gather
+            can = (off + MAX_CODE_LEN <= 64) & (rem > 0)
+            probe = (word >> np.maximum(64 - probe_bits - off, 0)) & kmask
+            raw = lut_count[probe].astype(np.int64)
+            fbm = can & (raw == 0)
+            if fbm.any():
+                # first codeword wider than the probe: one flat-table step
+                fb = np.flatnonzero(fbm)
+                win = (word[fb] >> (64 - MAX_CODE_LEN - off[fb])) & fmask
+                ln = table_len[win].astype(np.int64)
+                if np.any(ln == 0):
+                    raise CorruptStreamError(
+                        "corrupt Huffman payload (invalid codeword)")
+                fb_wins.append(win)
+                fb_starts.append(here[fb])
+                off[fb] += ln
+                here[fb] += 1
+                rem[fb] -= 1
+            emit = np.minimum(np.where(can, raw, 0), rem)
+            adv = cum_flat[probe * cstride + emit]
+            probes.append(probe)
+            starts.append(here.copy())
+            emits.append(emit)
+            off += adv
+            here += emit
+            rem -= emit
+        bitpos[active] += off - off0
+        decoded[active] = counts[active] - rem
+        active = active[rem > 0]
+    if np.any(bitpos != bit_end):
+        raise CorruptStreamError("chunk bit counts do not match decoded "
+                                 "stream")
+
+    out = np.empty(n, dtype=np.uint32)
+    if probes:
+        pr = np.concatenate(probes)
+        st = np.concatenate(starts)
+        em = np.concatenate(emits)
+        # idle lanes (chunk already drained within the step) record
+        # zero-emit probes; dropping them up front shrinks the ragged
+        # replay below, whose cost scales with the probe count
+        keep = np.flatnonzero(em)
+        pr, st, em = pr[keep], st[keep], em[keep]
+        # ragged replay: per probe p, symbols lut_syms[pr[p], :em[p]]
+        # land at out[st[p]:st[p]+em[p]]. Folding the exclusive prefix
+        # sum into both bases keeps this at two repeats + one arange —
+        # this is the hottest allocation of the whole decode
+        csum = np.cumsum(em)
+        excl = csum - em
+        ranges = np.arange(int(csum[-1]) if em.size else 0,
+                           dtype=np.int64)
+        out[np.repeat(st - excl, em) + ranges] = \
+            lut_syms.ravel()[np.repeat(pr * lut_syms.shape[1] - excl, em)
+                             + ranges]
+    if fb_wins:
+        win = np.concatenate(fb_wins)
+        out[np.concatenate(fb_starts)] = table_sym[win]
+    return out
+
+
+def _probe_width(lut_count: np.ndarray) -> int:
+    width = int(lut_count.size).bit_length() - 1
+    if (1 << width) != lut_count.size:
+        raise CodecError("LUT size is not a power of two")
+    return width
+
+
+def _decode_loop(stream: HuffmanStream) -> np.ndarray:
+    """Legacy reference decoder: one codeword per flat-table lookup,
+    up to three lookups per 64-bit window gather."""
+    n = stream.n_symbols
+    if n == 0:
+        return np.empty(0, dtype=np.uint32)
+    pay, counts, bitpos, bit_end = _decode_prepare(stream)
+    windows8 = np.lib.stride_tricks.sliding_window_view(pay, 8)
+    n_chunks = counts.size
+    table_sym, table_len = build_decode_table(stream.lengths)
 
     # flat output sized to n (not a padded (n_chunks, chunk_size) matrix):
     # chunk c's symbols land at c*chunk_size + step, and only the final
     # chunk is short, so every index stays < n
     out = np.empty(n, dtype=np.uint32)
-    base = np.arange(n_chunks, dtype=np.int64) * chunk_size
+    base = np.arange(n_chunks, dtype=np.int64) * stream.chunk_size
     decoded = np.zeros(n_chunks, dtype=np.int64)
     mask = np.uint64((1 << MAX_CODE_LEN) - 1)
     # one 64-bit gather decodes up to K symbols per chunk per step: after
@@ -208,7 +391,7 @@ def _huffman_decode(stream: HuffmanStream) -> np.ndarray:
             window = (word[live] >> sh) & mask
             ln = table_len[window].astype(np.int64)
             if np.any(ln == 0):
-                raise CodecError(
+                raise CorruptStreamError(
                     "corrupt Huffman payload (invalid codeword)")
             chunks = active[live]
             out[base[chunks] + decoded[chunks]] = table_sym[window]
@@ -220,5 +403,6 @@ def _huffman_decode(stream: HuffmanStream) -> np.ndarray:
         bitpos[active] += consumed
         active = active[decoded[active] < counts[active]]
     if np.any(bitpos != bit_end):
-        raise CodecError("chunk bit counts do not match decoded stream")
+        raise CorruptStreamError("chunk bit counts do not match decoded "
+                                 "stream")
     return out

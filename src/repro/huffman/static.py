@@ -16,10 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import CodecError
-from repro.huffman.canonical import MAX_CODE_LEN
+from repro.huffman.canonical import (MAX_CODE_LEN, build_decode_table,
+                                     build_lut_tables, canonical_codebook)
 from repro.huffman.tree import code_lengths
 
-__all__ = ["static_lengths", "best_static_profile", "STATIC_SPREADS"]
+__all__ = ["static_lengths", "best_static_profile", "prewarm_static",
+           "STATIC_SPREADS"]
 
 #: prebuilt family: assumed std-dev (in bins) of the quant-code spread
 STATIC_SPREADS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0)
@@ -48,6 +50,22 @@ def static_lengths(alphabet_size: int, center: int,
     lengths = code_lengths(freqs, MAX_CODE_LEN)
     assert (lengths > 0).all()
     return lengths
+
+
+def prewarm_static(alphabet_size: int, center: int,
+                   spreads=STATIC_SPREADS) -> int:
+    """Build codebook, flat table, and probe LUT for every member of the
+    static family — one call fills the caches a fresh process (or a
+    freshly spawned pool worker) would otherwise fill one miss at a time
+    on its first streams. Returns the number of codebooks warmed."""
+    warmed = 0
+    for spread in spreads:
+        lengths = static_lengths(alphabet_size, center, spread)
+        canonical_codebook(lengths)
+        build_decode_table(lengths)
+        build_lut_tables(lengths)
+        warmed += 1
+    return warmed
 
 
 def best_static_profile(codes: np.ndarray, alphabet_size: int, center: int,

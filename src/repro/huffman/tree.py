@@ -22,7 +22,17 @@ __all__ = ["code_lengths"]
 
 
 def _tree_lengths(freqs: np.ndarray) -> np.ndarray:
-    """Unrestricted optimal code lengths for the nonzero-frequency symbols."""
+    """Unrestricted optimal code lengths for the nonzero-frequency symbols.
+
+    Heap merge over parent pointers: each merge records only the two
+    children's parent node, and leaf depths are recovered afterwards by
+    one reverse sweep over the creation-ordered node array (a parent is
+    always created after its children). Merge order — and therefore the
+    resulting lengths — is identical to the classic subtree-list variant
+    because the unique tiebreak counter decides every weight tie before
+    payloads would ever be compared; this just drops the O(alphabet)
+    list concatenation from every merge.
+    """
     sym = np.flatnonzero(freqs)
     lengths = np.zeros(freqs.size, dtype=np.int64)
     if sym.size == 0:
@@ -30,21 +40,25 @@ def _tree_lengths(freqs: np.ndarray) -> np.ndarray:
     if sym.size == 1:
         lengths[sym[0]] = 1  # a lone symbol still needs one bit per element
         return lengths
-    # heap of (weight, tiebreak, leaf-symbol-list)... tracking depth instead:
-    # classic two-queue/heap merge, accumulating +1 depth to merged subtrees.
+    m = sym.size
     tiebreak = count()
-    heap: list[tuple[int, int, list[int]]] = [
-        (int(freqs[s]), next(tiebreak), [int(s)]) for s in sym
+    heap: list[tuple[int, int, int]] = [
+        (int(freqs[s]), next(tiebreak), i) for i, s in enumerate(sym)
     ]
     heapq.heapify(heap)
+    parent = np.zeros(2 * m - 1, dtype=np.int64)
+    next_id = m
     while len(heap) > 1:
-        w1, _, l1 = heapq.heappop(heap)
-        w2, _, l2 = heapq.heappop(heap)
-        for s in l1:
-            lengths[s] += 1
-        for s in l2:
-            lengths[s] += 1
-        heapq.heappush(heap, (w1 + w2, next(tiebreak), l1 + l2))
+        w1, _, n1 = heapq.heappop(heap)
+        w2, _, n2 = heapq.heappop(heap)
+        parent[n1] = next_id
+        parent[n2] = next_id
+        heapq.heappush(heap, (w1 + w2, next(tiebreak), next_id))
+        next_id += 1
+    depth = np.zeros(next_id, dtype=np.int64)
+    for node in range(next_id - 2, -1, -1):
+        depth[node] = depth[parent[node]] + 1
+    lengths[sym] = depth[:m]
     return lengths
 
 

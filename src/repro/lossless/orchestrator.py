@@ -610,6 +610,13 @@ def _decode_legacy(blob: bytes) -> bytes:
             "not an orchestrated frame nor a known single-codec blob")
 
 
+#: frames at or below this size take the dispatch-free decode path: on
+#: tiny containers (the 64**3 single-field case) the per-segment span
+#: bookkeeping and name decodes cost more than the byte decoding itself,
+#: which is how orchestrated decode previously lost to bare GLE
+_SMALL_DECODE_BYTES = 1 << 16
+
+
 def orchestrate_decompress(blob) -> bytes:
     """Invert :func:`orchestrate_compress`; accepts legacy blobs too."""
     blob = bytes(blob)
@@ -628,8 +635,8 @@ def orchestrate_decompress(blob) -> bytes:
             raise CorruptStreamError("truncated orchestrator stream table")
         nlen = blob[pos]
         pos += 1
-        name = blob[pos:pos + nlen].decode("utf-8", "replace")
-        pos += nlen
+        raw_name = blob[pos:pos + nlen]     # decoded to str lazily: only
+        pos += nlen                         # spans and errors need text
         if pos + _STREAM_HDR.size > len(blob):
             raise CorruptStreamError("truncated orchestrator stream table")
         bid, enc_len = _STREAM_HDR.unpack_from(blob, pos)
@@ -637,11 +644,30 @@ def orchestrate_decompress(blob) -> bytes:
         if bid not in _BACKENDS:
             raise CorruptStreamError(
                 f"unknown orchestrator backend id {bid}")
-        table.append((name, bid, enc_len))
+        table.append((raw_name, bid, enc_len))
+    if len(blob) <= _SMALL_DECODE_BYTES:
+        # small-frame fast path: identical decoding and CRC verification,
+        # no per-segment span setup or name decoding
+        telemetry.incr("lossless.small_decode")
+        parts = []
+        for raw_name, bid, enc_len in table:
+            if pos + enc_len > len(blob):
+                raise CorruptStreamError(
+                    "truncated orchestrator stream "
+                    f"{raw_name.decode('utf-8', 'replace')!r}")
+            try:
+                parts.append(_BACKENDS[bid][2](blob[pos:pos + enc_len]))
+            except zlib.error as exc:
+                raise CorruptStreamError(
+                    f"stream {raw_name.decode('utf-8', 'replace')!r} "
+                    f"failed to decode: {exc}")
+            pos += enc_len
+        return _finish_frame(parts, pos, blob, flags, crc)
     parts = []
     with telemetry.span("lossless.orchestrate_decode",
                         n_streams=n_streams, bytes_in=len(blob)) as root:
-        for name, bid, enc_len in table:
+        for raw_name, bid, enc_len in table:
+            name = raw_name.decode("utf-8", "replace")
             if pos + enc_len > len(blob):
                 raise CorruptStreamError(
                     f"truncated orchestrator stream {name!r}")
@@ -655,22 +681,29 @@ def orchestrate_decompress(blob) -> bytes:
                         f"stream {name!r} failed to decode: {exc}")
                 sp.set(bytes_out=len(parts[-1]))
             pos += enc_len
-        if pos != len(blob):
-            raise CorruptStreamError(
-                "trailing bytes after orchestrator streams")
-        out = b"".join(parts)
-        if flags & _ORC_FLAG_EXTCRC:
-            # integrity was delegated to the container's own checksum
-            if (len(out) < 10 or out[:4] != _CONTAINER_MAGIC
-                    or zlib.crc32(out[10:])
-                    != struct.unpack_from("<I", out, 6)[0]):
-                raise CorruptStreamError(
-                    "orchestrator payload checksum mismatch "
-                    "(container CRC, corrupt frame)")
-        elif zlib.crc32(out) != crc:
-            raise CorruptStreamError(
-                "orchestrator payload checksum mismatch (corrupt frame)")
+        out = _finish_frame(parts, pos, blob, flags, crc)
         root.set(bytes_out=len(out))
+    return out
+
+
+def _finish_frame(parts: list, pos: int, blob: bytes, flags: int,
+                  crc: int) -> bytes:
+    """Shared frame-tail validation: exact length, then payload CRC."""
+    if pos != len(blob):
+        raise CorruptStreamError(
+            "trailing bytes after orchestrator streams")
+    out = b"".join(parts)
+    if flags & _ORC_FLAG_EXTCRC:
+        # integrity was delegated to the container's own checksum
+        if (len(out) < 10 or out[:4] != _CONTAINER_MAGIC
+                or zlib.crc32(out[10:])
+                != struct.unpack_from("<I", out, 6)[0]):
+            raise CorruptStreamError(
+                "orchestrator payload checksum mismatch "
+                "(container CRC, corrupt frame)")
+    elif zlib.crc32(out) != crc:
+        raise CorruptStreamError(
+            "orchestrator payload checksum mismatch (corrupt frame)")
     return out
 
 

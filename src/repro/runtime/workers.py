@@ -114,6 +114,29 @@ def _ship_array(out: Arena, lock, arr: np.ndarray):
     return ("s", off, arr.nbytes, arr.shape, arr.dtype.str)
 
 
+#: raw codebook-length blobs this worker already expanded into decode
+#: tables/LUTs — warm hints are idempotent, so re-sends are skipped
+_warmed_codebooks: set[bytes] = set()
+
+
+def _warm_from_ctrl(ctrl: dict) -> None:
+    """Expand parent-shipped warm codebook hints into this worker's
+    decode-table and LUT caches before the task body runs.
+
+    The parent piggybacks its most-recently-used Huffman length vectors
+    on every task's control dict (they are ~1 KiB each), so a freshly
+    spawned daemon builds its decode surfaces once, here, instead of
+    paying the table+LUT build inside the first decode request."""
+    hints = ctrl.get("warm_lengths")
+    if not hints:
+        return
+    from repro.huffman.canonical import warm_tables
+    fresh = [blob for blob in hints if blob not in _warmed_codebooks]
+    if fresh:
+        warm_tables(fresh)
+        _warmed_codebooks.update(fresh)
+
+
 def _run_task(kind: str, ctrl: dict, lock):
     from repro import telemetry
     from repro.telemetry import recorder
@@ -124,6 +147,7 @@ def _run_task(kind: str, ctrl: dict, lock):
     arena_out = _attach(ctrl["out_name"], active)
     trace = ctrl["trace"]
     base = recorder.worker_baseline() if recorder.enabled() else None
+    _warm_from_ctrl(ctrl)
 
     def _execute():
         meta = []
@@ -391,9 +415,15 @@ class ShmPool:
                 "size_bytes": self._worker_peak_rss_kb * 1024}
 
     def _common_ctrl(self, trace: bool, tctx) -> dict:
+        from repro.huffman.canonical import warm_lengths
         return {"in_name": self._arena_in.name,
                 "out_name": self._arena_out.name,
-                "trace": trace, "tctx": tctx}
+                "trace": trace, "tctx": tctx,
+                # warm codebook hints ride along on the existing control
+                # path (the aux channel's parent-bound mirror): workers
+                # prebuild decode tables/LUTs for the parent's hottest
+                # codebooks instead of cold-filling on first decode
+                "warm_lengths": warm_lengths(limit=4)}
 
     def _finish(self, kind: str, tasks: list, stats: TransportStats,
                 materialize, consume, in_bytes: int = 0) -> RequestResult:

@@ -30,10 +30,12 @@ __all__ = ["register", "unregister", "registered", "snapshot",
            "snapshot_totals", "diff"]
 
 #: normalized statistic keys every snapshot entry carries
-FIELDS = ("hits", "misses", "evictions", "size", "limit", "size_bytes")
+FIELDS = ("hits", "misses", "evictions", "size", "limit", "size_bytes",
+          "byte_limit")
 
 #: the monotonically-increasing counters among :data:`FIELDS` — the ones
-#: :func:`diff` subtracts; gauges (size, limit, size_bytes) pass through
+#: :func:`diff` subtracts; gauges (size, limit, size_bytes, byte_limit)
+#: pass through
 COUNTER_FIELDS = ("hits", "misses", "evictions")
 
 _lock = threading.Lock()
@@ -83,6 +85,8 @@ def _normalize(raw: dict) -> dict:
     entry = {k: int(raw.get(k, 0)) for k in FIELDS}
     if "limit" not in raw:
         entry["limit"] = -1
+    if "byte_limit" not in raw:
+        entry["byte_limit"] = -1  # -1 = no byte budget (entry-count only)
     lookups = entry["hits"] + entry["misses"]
     entry["lookups"] = lookups
     entry["hit_ratio"] = entry["hits"] / lookups if lookups else 0.0
@@ -125,6 +129,7 @@ def diff(before: dict[str, dict], after: dict[str, dict]) -> dict[str, dict]:
         entry["size"] = now["size"]
         entry["size_growth"] = now["size"] - prev.get("size", 0)
         entry["size_bytes"] = now["size_bytes"]
+        entry["byte_limit"] = now.get("byte_limit", -1)
         lookups = entry["hits"] + entry["misses"]
         entry["lookups"] = lookups
         entry["hit_ratio"] = entry["hits"] / lookups if lookups else 0.0

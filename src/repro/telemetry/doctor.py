@@ -38,10 +38,14 @@ from dataclasses import dataclass, field
 from repro.telemetry.recorder import RunRecord
 
 __all__ = ["Check", "Diagnosis", "diagnose", "environment_report",
-           "WARM_HIT_THRESHOLD"]
+           "WARM_HIT_THRESHOLD", "UNBUDGETED_BYTES_WARN"]
 
 #: minimum acceptable warm (post-cold-fill) cache hit ratio
 WARM_HIT_THRESHOLD = 0.5
+
+#: resident bytes above which a cache with *no* byte budget
+#: (``byte_limit`` -1/0) is flagged as growing without bound
+UNBUDGETED_BYTES_WARN = 64 << 20
 
 #: worker-resident aggregates where the ``size`` gauge counts daemons,
 #: not cache entries — per-worker cold fills are invisible as size
@@ -181,6 +185,38 @@ def diagnose(records: list[RunRecord],
         checks.append(Check(
             "warm cache hit rate", True,
             "no repeated cache activity to judge", gating=False))
+
+    # byte pressure: gauges pass through the diff from the *latest*
+    # snapshot, so the last record that touched a cache carries its
+    # current resident bytes. A budgeted cache (byte_limit > 0) sitting
+    # over its budget means eviction is broken — that gates. An
+    # unbudgeted cache holding a lot of memory only warns: it may be
+    # legitimate, but it is exactly where unbounded growth hides.
+    latest_bytes: dict[str, tuple[int, int]] = {}
+    for rec in records:
+        for name, delta in rec.caches.items():
+            if name in _AGGREGATED_CACHES:
+                continue
+            latest_bytes[name] = (delta.get("size_bytes", 0),
+                                  delta.get("byte_limit", -1))
+    if latest_bytes:
+        over = {n: (b, lim) for n, (b, lim) in latest_bytes.items()
+                if lim > 0 and b > lim}
+        fat = {n: b for n, (b, lim) in latest_bytes.items()
+               if lim <= 0 and b > UNBUDGETED_BYTES_WARN}
+        budgeted = sum(1 for _b, lim in latest_bytes.values() if lim > 0)
+        detail = (f"{len(latest_bytes)} cache(s), {budgeted} byte-budgeted")
+        if over:
+            detail += ("; OVER BUDGET: "
+                       + ", ".join(f"{n} ({b >> 10} KiB > {lim >> 10} KiB)"
+                                   for n, (b, lim) in sorted(over.items())))
+        if fat:
+            detail += ("; unbudgeted growth: "
+                       + ", ".join(f"{n} ({b >> 20} MiB)"
+                                   for n, b in sorted(fat.items())))
+        # over-budget gates; unbudgeted growth alone is a warning
+        checks.append(Check("cache byte pressure", not (over or fat),
+                            detail, gating=bool(over)))
 
     # a trip is correctness-preserving (the guard stores raw) and small
     # incompressible segments legitimately mispredict now and then, so

@@ -6,10 +6,11 @@ and ``repro stats --check``. Each trajectory section — ``ginterp``
 (compiled-engine compress loop), ``lossless`` (warm orchestrated
 encode), ``runtime`` (parallel slab wall time), ``transport``
 (schema 6: shm zero-copy pool wall times, gated on parallel
-decompress staying competitive with serial) — has one *gating*
-metric and a few informational ones; a gating metric past its section
-threshold yields a regressed :class:`Finding`, rendered as a GitHub
-``::warning::`` annotation in CI.
+decompress staying competitive with serial), ``huffman`` (schema 7:
+the batch-parallel LUT codec, gated on its decode wall time) — has
+one *gating* metric and a few informational ones; a gating metric
+past its section threshold yields a regressed :class:`Finding`,
+rendered as a GitHub ``::warning::`` annotation in CI.
 
 Thresholds default to 25% per section and, from trajectory **schema 5**
 on, are read from the document's own ``thresholds`` object — the
@@ -51,6 +52,9 @@ SECTIONS = {
                   "info": ("serial_decompress_s", "parallel_compress_s",
                            "serial_compress_s"),
                   "unit": "s"},
+    "huffman": {"gate": ("decode_s",),
+                "info": ("encode_s", "loop_decode_s", "lut_build_s"),
+                "unit": "s"},
 }
 
 

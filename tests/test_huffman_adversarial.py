@@ -1,0 +1,300 @@
+"""Adversarial + cross-engine equivalence tests for the Huffman engine.
+
+The ``lut`` (multi-symbol probe, chunk-parallel) and ``loop`` (one
+codeword per lookup) decoders must agree byte-for-byte on every valid
+stream and raise :class:`~repro.common.errors.CorruptStreamError` —
+never mis-decode — on every corrupt one. These tests drive both engines
+through degenerate codebooks (single symbol, maximally skewed trees),
+codewords wider than the LUT probe, hostile chunk tables, and the full
+pipeline across dtypes, shapes and the slab / tiled / shm transports.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+import repro.huffman.canonical as canonical
+from repro.common.errors import CodecError, CorruptStreamError
+from repro.huffman import (MAX_CODE_LEN, HuffmanStream, build_lut_tables,
+                           code_lengths, huffman_decode, huffman_encode)
+from repro.huffman.canonical import (LUT_CACHE_BYTES,
+                                     clear_codebook_caches,
+                                     codebook_cache_stats)
+
+from conftest import smooth_field
+
+ENGINES = ("lut", "loop")
+
+
+def _reencode(stream, payload=None, chunk_bits=None):
+    """Clone a stream with substituted parts, keeping the CRC honest so
+    corruption must be caught by *decoding*, not the checksum."""
+    payload = stream.payload if payload is None else payload
+    return HuffmanStream(
+        n_symbols=stream.n_symbols, alphabet_size=stream.alphabet_size,
+        chunk_size=stream.chunk_size, lengths=stream.lengths,
+        chunk_bits=stream.chunk_bits if chunk_bits is None else chunk_bits,
+        payload=payload, crc32=zlib.crc32(payload.tobytes()))
+
+
+def _assert_both_engines_equal(stream, expected):
+    for engine in ENGINES:
+        np.testing.assert_array_equal(
+            huffman_decode(stream, engine=engine), expected)
+
+
+def _assert_both_engines_raise(stream):
+    for engine in ENGINES:
+        with pytest.raises(CorruptStreamError):
+            huffman_decode(stream, engine=engine)
+
+
+class TestDegenerateCodebooks:
+    @pytest.mark.parametrize("n", [1, 2, 255, 256, 257, 4096])
+    def test_single_symbol_stream(self, n):
+        codes = np.full(n, 3, dtype=np.uint32)
+        stream = huffman_encode(codes, 8, chunk_size=64)
+        _assert_both_engines_equal(stream, codes)
+
+    def test_maximally_skewed_tree(self):
+        # Fibonacci-ish frequencies drive the unbalanced tree to the
+        # MAX_CODE_LEN rebalancing limit; every symbol must round-trip
+        freqs = np.ones(24, dtype=np.int64)
+        for i in range(2, 24):
+            freqs[i] = freqs[i - 1] + freqs[i - 2]
+        lengths = code_lengths(freqs, MAX_CODE_LEN)
+        assert lengths.max() == MAX_CODE_LEN
+        rng = np.random.default_rng(0)
+        codes = rng.choice(24, size=5000,
+                           p=freqs / freqs.sum()).astype(np.uint32)
+        codes[:24] = np.arange(24)          # force every codeword to occur
+        stream = huffman_encode(codes, 24, chunk_size=97)
+        _assert_both_engines_equal(stream, codes)
+
+    def test_two_symbol_alternation(self):
+        codes = (np.arange(3000) & 1).astype(np.uint32)
+        stream = huffman_encode(codes, 2, chunk_size=128)
+        _assert_both_engines_equal(stream, codes)
+
+
+class TestNarrowProbeFallback:
+    """Codewords wider than the probe exercise the flat-table fallback
+    (the full-width default probe never needs it)."""
+
+    @pytest.mark.parametrize("probe_bits", [1, 2, 4, 8])
+    def test_decodes_codes_wider_than_probe(self, monkeypatch, probe_bits):
+        rng = np.random.default_rng(7)
+        codes = (rng.zipf(1.2, size=20000).astype(np.uint32) % 512)
+        codes[:512] = np.arange(512)
+        stream = huffman_encode(codes, 512, chunk_size=256)
+        expected = huffman_decode(stream, engine="loop")
+        monkeypatch.setattr(canonical, "LUT_PROBE_BITS", probe_bits)
+        clear_codebook_caches()
+        try:
+            np.testing.assert_array_equal(
+                huffman_decode(stream, engine="lut"), expected)
+            np.testing.assert_array_equal(expected, codes)
+        finally:
+            clear_codebook_caches()
+
+    def test_lut_marks_overwide_first_codeword(self):
+        # alphabet of 256 equal symbols -> every code is 8 bits; a 4-bit
+        # probe can never contain a complete codeword
+        lengths = code_lengths(np.ones(256, dtype=np.int64), MAX_CODE_LEN)
+        count, cum, syms = build_lut_tables(lengths, probe_bits=4)
+        assert count.max() == 0
+        assert cum.shape[0] == 16 and syms.shape[0] == 16
+
+    def test_probe_width_bounds_rejected(self):
+        lengths = code_lengths(np.array([3, 1]), MAX_CODE_LEN)
+        with pytest.raises(CodecError):
+            build_lut_tables(lengths, probe_bits=0)
+        with pytest.raises(CodecError):
+            build_lut_tables(lengths, probe_bits=MAX_CODE_LEN + 1)
+
+
+class TestLutTableInvariants:
+    def test_cum_bits_leading_zero_column(self):
+        lengths = code_lengths(np.array([8, 4, 2, 1, 1]), MAX_CODE_LEN)
+        count, cum, syms = build_lut_tables(lengths, probe_bits=6)
+        assert np.all(cum[:, 0] == 0)
+        # within each row's emitted prefix, every codeword advances the
+        # cursor by >= 1 bit and never past the probe width (entries
+        # beyond count[w] are padding and carry no meaning)
+        diffs = np.diff(cum.astype(np.int64), axis=1)
+        valid = np.arange(diffs.shape[1])[None, :] < count[:, None]
+        assert np.all(diffs[valid] >= 1)
+        assert cum.max() <= 6
+        # a row's own count indexes its final cumulative advance
+        rows = np.arange(count.size)
+        assert np.all(cum[rows, count] == cum.max(axis=1))
+
+    def test_syms_dtype_tracks_alphabet(self):
+        small = code_lengths(np.ones(16, dtype=np.int64), MAX_CODE_LEN)
+        _, _, syms = build_lut_tables(small, probe_bits=8)
+        assert syms.dtype == np.uint16
+
+    def test_tables_are_readonly(self):
+        lengths = code_lengths(np.array([4, 2, 1, 1]), MAX_CODE_LEN)
+        for arr in build_lut_tables(lengths, probe_bits=5):
+            assert not arr.flags.writeable
+
+
+class TestHostileStreams:
+    @pytest.fixture
+    def stream(self, rng):
+        codes = rng.integers(0, 3, 2000).astype(np.uint32)
+        # three 2-bit codes leave the fourth 2-bit prefix unused, so
+        # hostile payload bytes can hit an invalid codeword
+        return huffman_encode(codes, 3, chunk_size=128)
+
+    def test_truncated_header(self, stream):
+        with pytest.raises(CorruptStreamError):
+            HuffmanStream.from_bytes(stream.to_bytes()[:4])
+
+    def test_truncated_tables(self, stream):
+        blob = stream.to_bytes()
+        with pytest.raises(CorruptStreamError):
+            HuffmanStream.from_bytes(blob[:16 + stream.lengths.size // 2])
+
+    def test_truncated_payload(self, stream):
+        half = HuffmanStream.from_bytes(
+            stream.to_bytes()[:-stream.payload.size // 2])
+        _assert_both_engines_raise(half)
+
+    def test_garbage_payload_invalid_codeword(self, stream):
+        bad = _reencode(stream,
+                        payload=np.full_like(stream.payload, 0xFF))
+        _assert_both_engines_raise(bad)
+
+    def test_chunk_bits_stretched(self, stream):
+        # one extra bit in a chunk's budget must surface as a corrupt
+        # stream (cursor/bit-count mismatch), never as wrong symbols
+        bits = stream.chunk_bits.copy()
+        bits[0] += 1
+        _assert_both_engines_raise(_reencode(stream, chunk_bits=bits))
+
+    def test_chunk_bits_shrunk(self, stream):
+        bits = stream.chunk_bits.copy()
+        bits[1] -= 1
+        _assert_both_engines_raise(_reencode(stream, chunk_bits=bits))
+
+    def test_chunk_table_garbage(self, stream):
+        bits = np.full_like(stream.chunk_bits, 0xFFFF)
+        _assert_both_engines_raise(_reencode(stream, chunk_bits=bits))
+
+    def test_chunk_count_mismatch(self, stream):
+        bad = _reencode(stream)
+        bad.n_symbols += stream.chunk_size
+        _assert_both_engines_raise(bad)
+
+    def test_flipped_payload_byte_fails_checksum(self, stream):
+        payload = stream.payload.copy()
+        payload[len(payload) // 2] ^= 0x40
+        bad = HuffmanStream(
+            n_symbols=stream.n_symbols,
+            alphabet_size=stream.alphabet_size,
+            chunk_size=stream.chunk_size, lengths=stream.lengths,
+            chunk_bits=stream.chunk_bits, payload=payload,
+            crc32=stream.crc32)          # stale CRC kept on purpose
+        _assert_both_engines_raise(bad)
+
+
+class TestLutCacheByteBudget:
+    def test_eviction_under_byte_pressure(self, monkeypatch, rng):
+        clear_codebook_caches()
+        # one full-width LUT is ~3 MiB; a tiny budget forces eviction on
+        # every second insert while always keeping the newest entry
+        monkeypatch.setitem(canonical._BYTE_BUDGETS, "lut", 4 << 20)
+        try:
+            for alph in (16, 17, 18, 19):
+                # one dominant symbol -> 1-bit code -> up to 16 symbols
+                # per probe row, so each LUT is ~3 MiB
+                freqs = np.ones(alph, dtype=np.int64)
+                freqs[0] = 1 << 20
+                build_lut_tables(code_lengths(freqs, MAX_CODE_LEN))
+            stats = codebook_cache_stats()
+            assert stats["lut_evictions"] >= 2
+            assert len(canonical._lut_cache) >= 1
+            assert canonical._cache_bytes["lut"] <= 4 << 20
+        finally:
+            clear_codebook_caches()
+
+    def test_default_budget_is_advertised(self):
+        assert canonical._BYTE_BUDGETS["lut"] == LUT_CACHE_BYTES
+
+
+class TestPipelineCrossEngine:
+    """The two engines must reconstruct byte-identical fields through
+    every transport the pipeline ships streams over."""
+
+    @pytest.mark.parametrize("shape", [(300,), (64, 48), (40, 44, 36)])
+    def test_shapes(self, monkeypatch, shape):
+        from repro.registry import get_compressor
+        data = smooth_field(shape, seed=3)
+        comp = get_compressor("cuszi", eb=1e-3, mode="rel")
+        blob = comp.compress(data)
+        outs = {}
+        for engine in ENGINES:
+            monkeypatch.setenv("REPRO_HUFFMAN_ENGINE", engine)
+            outs[engine] = comp.decompress(blob)
+        assert outs["lut"].tobytes() == outs["loop"].tobytes()
+
+    def test_float64(self, monkeypatch):
+        from repro.registry import get_compressor
+        data = smooth_field((32, 32, 32), seed=5).astype(np.float64)
+        comp = get_compressor("cuszi", eb=1e-4, mode="abs")
+        blob = comp.compress(data)
+        outs = {}
+        for engine in ENGINES:
+            monkeypatch.setenv("REPRO_HUFFMAN_ENGINE", engine)
+            outs[engine] = comp.decompress(blob)
+        assert outs["lut"].tobytes() == outs["loop"].tobytes()
+
+    def test_slab_stream(self, monkeypatch):
+        from repro.streaming import compress_slabs, decompress_slabs
+        data = smooth_field((32, 40, 36), seed=11)
+        stream = compress_slabs(data, 8, codec="cuszi", eb=1e-3,
+                                mode="rel")
+        outs = {}
+        for engine in ENGINES:
+            monkeypatch.setenv("REPRO_HUFFMAN_ENGINE", engine)
+            outs[engine] = decompress_slabs(stream)
+        assert outs["lut"].tobytes() == outs["loop"].tobytes()
+
+    def test_tiled_out_of_core(self, monkeypatch, tmp_path):
+        from repro.runtime.tiled import (tiled_compress_file,
+                                         tiled_decompress_file)
+        field = smooth_field((24, 20, 16), seed=13)
+        raw = tmp_path / "field.raw"
+        field.tofile(raw)
+        stream = tmp_path / "field.slabs"
+        tiled_compress_file(str(raw), field.shape, out_path=str(stream),
+                            tile_planes=8, codec="cuszi", eb=1e-3,
+                            mode="rel")
+        outs = {}
+        for engine in ENGINES:
+            monkeypatch.setenv("REPRO_HUFFMAN_ENGINE", engine)
+            out = tmp_path / f"out_{engine}.raw"
+            tiled_decompress_file(str(stream), str(out))
+            outs[engine] = out.read_bytes()
+        assert outs["lut"] == outs["loop"]
+
+    def test_shm_parallel_matches_serial_loop(self, monkeypatch):
+        # the pooled shm decompress (workers decode with the default
+        # lut engine) must agree byte-for-byte with an in-process
+        # loop-engine decode of the same archive
+        from repro.runtime import (parallel_decompress_slabs,
+                                   resolve_workers)
+        from repro.streaming import compress_slabs, decompress_slabs
+        data = smooth_field((16, 24, 20), seed=17)
+        stream = compress_slabs(data, 4, codec="cuszi", eb=1e-3,
+                                mode="rel")
+        pooled = parallel_decompress_slabs(
+            stream, workers=min(2, max(2, resolve_workers("auto"))))
+        monkeypatch.setenv("REPRO_HUFFMAN_ENGINE", "loop")
+        serial = decompress_slabs(stream)
+        assert pooled.tobytes() == serial.tobytes()
