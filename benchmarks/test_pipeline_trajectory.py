@@ -31,6 +31,23 @@ the autotune stage's wall time, its share of a warm compress, and the
 content-fingerprint cache counters — so retune reuse is part of the
 trajectory.
 
+Schema 8 mirrors the decode work on the encode side. The ``huffman``
+section gains ``loop_encode_s`` / ``encode_engine_speedup`` (the
+chunk-vectorized ``vector`` emitter against the retained byte-plane
+``loop`` engine, byte-identical streams) and a ``codebook_cache`` record
+(the quantized-fingerprint codebook cache of
+:mod:`repro.huffman.tree`); ``lut_build_s`` is timed cold behind a
+prewarm drain so neither encode nor decode MB/s bills the LUT build.
+The ``ginterp`` section gains a ``fused_quantize`` record — the share
+of a warm compress spent in the fused predict–quantize emission
+(``ginterp.pq`` spans). A new ``walls`` section records best-of-N
+end-to-end compress/decompress walls on the 64^3 and 128^3 fields and
+their ratios — CI gates compress staying within 1.5x of decompress.
+Sections that cannot run on the current host (the serial-vs-parallel
+``runtime`` and ``transport`` comparisons need >= 2 usable CPUs) are
+emitted as ``{"skipped_reason": ...}`` instead of noise numbers; the
+sentinel skips sections whose gate metrics are absent.
+
 Schema 6 adds a ``transport`` section: serial vs pooled wall times for
 both directions on a 128^3 field (big enough to clear the shm floors),
 the shm-vs-pickled byte accounting from
@@ -71,34 +88,18 @@ EB = 1e-3
 SLAB_PLANES = 8
 
 
-@pytest.mark.skipif(not EMIT, reason="set REPRO_BENCH_EMIT=1 (or a path) "
-                                     "to emit BENCH_pipeline.json")
-def test_emit_pipeline_trajectory():
-    from repro.datasets import load_field
-    from repro.registry import get_compressor
+def _bench_parallel_sections(data, shape, usable_cpus):
+    """The serial-vs-parallel ``runtime`` and ``transport`` sections.
 
-    dataset, field, shape = FIELD
-    data = load_field(dataset, field, shape=shape)
-    results = {}
-    for codec in CODECS:
-        comp = get_compressor(codec, eb=EB, mode="rel", lossless="none")
-        t0 = time.perf_counter()
-        blob = comp.compress(data)
-        t1 = time.perf_counter()
-        recon = comp.decompress(blob)
-        t2 = time.perf_counter()
-        assert recon.shape == data.shape
-        results[codec] = {
-            "compress_s": round(t1 - t0, 6),
-            "decompress_s": round(t2 - t1, 6),
-            "ratio": round(data.nbytes / len(blob), 4),
-            "compressed_bytes": len(blob),
-        }
-    # serial vs parallel slab runtime on the same field (>= 8 slabs);
-    # the archives must be byte-identical, only the wall time may differ
+    Only run on hosts with >= 2 usable CPUs — on a single schedulable
+    core the "parallel" walls measure contention, not the runtime.
+    """
+    from repro.datasets import load_field
     from repro.runtime import (parallel_compress_slabs,
                                parallel_decompress_slabs, resolve_workers)
-    from repro.streaming import compress_slabs
+    from repro.streaming import compress_slabs, decompress_slabs
+
+    dataset, field, _ = FIELD
     slab_kwargs = dict(codec="cuszi", eb=EB, mode="rel", lossless="none")
     workers = min(4, max(2, resolve_workers("auto")))
     # warm the pool so fork/startup cost is not billed to the timed run
@@ -116,19 +117,11 @@ def test_emit_pipeline_trajectory():
     recon = parallel_decompress_slabs(parallel_stream, workers=workers)
     t3 = time.perf_counter()
     assert recon.shape == data.shape
-    from repro.streaming import decompress_slabs
     t4 = time.perf_counter()
     decompress_slabs(serial_stream)
     t5 = time.perf_counter()
     serial_s = t1 - t0
     parallel_s = t2 - t1
-    # usable cores, not installed cores: cgroup/affinity-limited runners
-    # (CI containers) otherwise report e.g. cpu_count=64 while only one
-    # core is schedulable, which misrepresents every speedup number
-    try:
-        usable_cpus = len(os.sched_getaffinity(0)) or 1
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        usable_cpus = os.cpu_count() or 1
     runtime = {
         "n_slabs": -(-shape[0] // SLAB_PLANES),
         "workers": workers,
@@ -187,7 +180,53 @@ def test_emit_pipeline_trajectory():
         "min_decode_bytes": runtime_pool.SHM_MIN_DECODE_BYTES
         if tkind == "shm" else runtime_pool.PARALLEL_MIN_DECODE_BYTES,
     }
-    del tdata, t_serial_stream, t_par_stream
+    return runtime, transport
+
+
+@pytest.mark.skipif(not EMIT, reason="set REPRO_BENCH_EMIT=1 (or a path) "
+                                     "to emit BENCH_pipeline.json")
+def test_emit_pipeline_trajectory():
+    from repro.datasets import load_field
+    from repro.registry import get_compressor
+
+    dataset, field, shape = FIELD
+    data = load_field(dataset, field, shape=shape)
+    results = {}
+    for codec in CODECS:
+        comp = get_compressor(codec, eb=EB, mode="rel", lossless="none")
+        t0 = time.perf_counter()
+        blob = comp.compress(data)
+        t1 = time.perf_counter()
+        recon = comp.decompress(blob)
+        t2 = time.perf_counter()
+        assert recon.shape == data.shape
+        results[codec] = {
+            "compress_s": round(t1 - t0, 6),
+            "decompress_s": round(t2 - t1, 6),
+            "ratio": round(data.nbytes / len(blob), 4),
+            "compressed_bytes": len(blob),
+        }
+    # usable cores, not installed cores: cgroup/affinity-limited runners
+    # (CI containers) otherwise report e.g. cpu_count=64 while only one
+    # core is schedulable, which misrepresents every speedup number
+    try:
+        usable_cpus = len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        usable_cpus = os.cpu_count() or 1
+
+    if usable_cpus < 2:
+        # a serial-vs-parallel comparison on one schedulable core times
+        # scheduler contention, not the runtime — emit the reason instead
+        # of numbers (the sentinel skips sections without gate metrics)
+        skip = {"skipped_reason":
+                f"needs >= 2 usable CPUs, have {usable_cpus}",
+                "cpu_count": usable_cpus,
+                "cpu_count_logical": os.cpu_count()}
+        runtime = dict(skip)
+        transport = dict(skip)
+    else:
+        runtime, transport = _bench_parallel_sections(data, shape,
+                                                      usable_cpus)
 
     # compiled pass-plan engine: repeated-compress loop, warm plan cache,
     # against the uncompiled reference traversal on the same field
@@ -309,21 +348,28 @@ def test_emit_pipeline_trajectory():
         "segments": segments,
     }
 
-    # schema 7: the batch-parallel table-driven Huffman engine on this
+    # schema 7/8: the batch-parallel table-driven Huffman codec on this
     # field's real quant-code stream (the traced ginterp compress above),
-    # plus the stage share Huffman holds in a full pipeline decompress
+    # both encode engines, plus the stage share Huffman holds in a full
+    # pipeline decompress
     from repro.core.ginterp.autotune import autotune_cache_stats
-    from repro.huffman import (LUT_PROBE_BITS, huffman_decode,
+    from repro.huffman import (LUT_PROBE_BITS, clear_fingerprint_cache,
+                               drain_lut_prewarm, fingerprint_cache_stats,
+                               fingerprint_code_lengths, huffman_decode,
                                huffman_encode)
     from repro.huffman.canonical import (MAX_CODE_LEN, build_lut_tables,
                                          clear_codebook_caches)
     from repro.huffman.codec import DEFAULT_CHUNK
     from repro.huffman.histogram import histogram
-    from repro.huffman.tree import code_lengths
 
     hcodes = np.ascontiguousarray(res.codes).ravel()
     alph = max(1024, int(hcodes.max()) + 1)
-    hlengths = code_lengths(histogram(hcodes, alph), MAX_CODE_LEN)
+    hlengths = fingerprint_code_lengths(histogram(hcodes, alph),
+                                        MAX_CODE_LEN)
+    # cold LUT build, timed on its own: drain any encode-side prewarm
+    # first so the build below is genuinely cold, and keep it out of the
+    # encode/decode MB/s math entirely
+    drain_lut_prewarm()
     clear_codebook_caches()
     t0 = time.perf_counter()
     build_lut_tables(hlengths)
@@ -333,8 +379,16 @@ def test_emit_pipeline_trajectory():
     ref_syms = hcodes.astype(np.uint32)
     assert np.array_equal(huffman_decode(hstream, engine="lut"), ref_syms)
     assert np.array_equal(huffman_decode(hstream, engine="loop"), ref_syms)
+    assert huffman_encode(hcodes, alph, DEFAULT_CHUNK,
+                          engine="loop").to_bytes() == hstream.to_bytes(), \
+        "encode engines must emit byte-identical streams"
+    clear_fingerprint_cache()
     enc_s = _best_inner(lambda: huffman_encode(hcodes, alph,
                                                DEFAULT_CHUNK), 5)
+    loop_enc_s = _best_inner(
+        lambda: huffman_encode(hcodes, alph, DEFAULT_CHUNK,
+                               engine="loop"), 3)
+    codebook_cache = fingerprint_cache_stats()
     lut_s = _best_inner(lambda: huffman_decode(hstream, engine="lut"), 5)
     loop_s = _best_inner(lambda: huffman_decode(hstream, engine="loop"), 3)
 
@@ -371,6 +425,11 @@ def test_emit_pipeline_trajectory():
         "stream_bytes": int(hstream.nbytes),
         "lut_build_s": round(lut_build_s, 6),
         "encode_s": round(enc_s, 6),
+        "loop_encode_s": round(loop_enc_s, 6),
+        "encode_engine": "vector",
+        "encode_engine_speedup": round(loop_enc_s / enc_s, 4)
+        if enc_s else 0.0,
+        "codebook_cache": codebook_cache,
         "decode_s": round(lut_s, 6),
         "loop_decode_s": round(loop_s, 6),
         "decode_speedup_vs_loop": round(loop_s / lut_s, 4)
@@ -386,6 +445,44 @@ def test_emit_pipeline_trajectory():
         if comp_total else 0.0,
         "autotune_cache": autotune_cache_stats(),
     }
+    # schema 8: share of a warm compress spent in the fused
+    # predict-quantize emission (the ginterp.pq spans of the traced run)
+    pq_s = sum(sp.duration_s for sp in crec.spans
+               if sp.name == "ginterp.pq")
+    ginterp["fused_quantize"] = {
+        "pq_s": round(pq_s, 6),
+        "compress_stage_share": round(pq_s / comp_total, 4)
+        if comp_total else 0.0,
+    }
+
+    # schema 8: end-to-end wall symmetry — the compress-side overhaul
+    # targets compress staying within 1.5x of decompress on both the
+    # bench field and the 128^3 transport-scale field (best-of-3)
+    def _walls(wdata):
+        wcomp = get_compressor("cuszi", eb=EB, mode="rel")
+        wblob = wcomp.compress(wdata)          # warm plan/tune caches
+        wcomp.decompress(wblob)                # warm table/LUT caches
+        c_s = d_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            wcomp.compress(wdata)
+            c_s = min(c_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            wcomp.decompress(wblob)
+            d_s = min(d_s, time.perf_counter() - t0)
+        return c_s, d_s
+
+    c64, d64 = _walls(data)
+    c128, d128 = _walls(load_field(dataset, field, shape=(128, 128, 128)))
+    walls = {
+        "rounds": 3,
+        "compress64_s": round(c64, 6),
+        "decompress64_s": round(d64, 6),
+        "ratio64": round(c64 / d64, 4) if d64 else 0.0,
+        "compress128_s": round(c128, 6),
+        "decompress128_s": round(d128, 6),
+        "ratio128": round(c128 / d128, 4) if d128 else 0.0,
+    }
 
     # one quality-audited run so the bench ledger always carries a
     # sampled error-bound histogram for ``repro doctor`` to inspect
@@ -397,7 +494,7 @@ def test_emit_pipeline_trajectory():
         quality.disable()
 
     doc = {
-        "schema": 7,
+        "schema": 8,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
@@ -406,13 +503,14 @@ def test_emit_pipeline_trajectory():
         # the *committed* copy of this file (the baseline owns its gate)
         "thresholds": {"ginterp": 0.25, "lossless": 0.25,
                        "runtime": 0.25, "transport": 0.25,
-                       "huffman": 0.25},
+                       "huffman": 0.25, "walls": 0.25},
         "results": results,
         "runtime": runtime,
         "transport": transport,
         "ginterp": ginterp,
         "lossless": lossless,
         "huffman": huffman,
+        "walls": walls,
         "caches": caches.snapshot(),
     }
     path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.common.errors import CodecError
 
-__all__ = ["pack_uint", "unpack_uint", "pack_varbits",
+__all__ = ["pack_uint", "unpack_uint", "pack_varbits", "pack_varbits64",
            "zigzag_encode", "zigzag_decode",
            "bit_length", "min_bit_width"]
 
@@ -83,6 +83,81 @@ def pack_varbits(codes: np.ndarray, lengths: np.ndarray,
         firsts = np.flatnonzero(np.diff(idx, prepend=idx[0] - 1))
         out[idx[firsts]] |= np.bitwise_or.reduceat(vals, firsts)
     return out[:int(total_bytes)]
+
+
+def _scatter_or_words(words: np.ndarray, idx: np.ndarray,
+                      vals: np.ndarray) -> None:
+    """OR ``vals`` into ``words`` grouped by the non-decreasing ``idx``."""
+    if idx.size == 0:
+        return
+    firsts = np.empty(0, dtype=np.int64)
+    if idx.size > 1:
+        firsts = np.flatnonzero(idx[1:] != idx[:-1]) + 1
+    firsts = np.concatenate(([0], firsts))
+    words[idx[firsts]] |= np.bitwise_or.reduceat(vals, firsts)
+
+
+def pack_varbits64(stage: np.ndarray, lengths: np.ndarray,
+                   bitpos: np.ndarray, total_bytes: int) -> np.ndarray:
+    """Word-parallel variant of :func:`pack_varbits` for trusted inputs.
+
+    ``stage[i]`` is the ``i``-th codeword already MSB-aligned in a uint64
+    (``code << (64 - lengths[i])``); it lands at absolute bit offset
+    ``bitpos[i]``. Offsets must be non-decreasing and the codewords
+    non-overlapping — this is the producer-side mirror of the decoder's
+    64-bit window gather, so the caller (the Huffman encoder) derives the
+    offsets from its own prefix sum and only cheap scalar bounds are
+    re-checked here. ``stage`` is **consumed**: the hi-plane shift runs
+    in place, so the caller must not reuse the array. The hot path is
+    memory-bound, which is why offsets are taken in whatever (ideally
+    ``uint32``) dtype the caller provides and the per-symbol temporaries
+    stay as narrow as the arithmetic allows.
+
+    Emission is two scatter-OR planes over little-endian *word* indices:
+    every codeword ORs ``stage >> (bitpos & 63)`` into its start word,
+    and only the codewords that actually straddle a word boundary pay a
+    second (compacted) scatter of the spilled low bits into the next
+    word. Per distinct word the OR-combine is one
+    ``bitwise_or.reduceat`` group, and the word array's big-endian byte
+    view is the MSB-first byte stream.
+    """
+    stage = np.asarray(stage, dtype=np.uint64).ravel()
+    lengths = np.asarray(lengths).ravel()
+    n = stage.size
+    if lengths.size != n or np.asarray(bitpos).size != n:
+        raise CodecError("stage/lengths/bitpos size mismatch")
+    if n == 0:
+        return np.zeros(max(0, int(total_bytes)), dtype=np.uint8)
+    pos = np.asarray(bitpos).ravel()
+    end_bit = int(pos[-1]) + int(lengths[-1])
+    if int(pos[0]) < 0 or end_bit > int(total_bytes) * 8:
+        raise CodecError("codeword falls outside the output stream")
+    # one slack word so the tail codeword's spill plane stays in bounds
+    n_words = (int(total_bytes) + 7) // 8 + 1
+    words = np.zeros(n_words, dtype=np.uint64)
+    if pos.dtype == np.uint32:
+        off = pos & np.uint32(63)
+        wi = pos >> np.uint32(6)
+    else:
+        p64 = pos.astype(np.int64, copy=False)
+        # the values are non-negative, so the uint64 view is free and
+        # keeps the shift below in unsigned arithmetic
+        off = (p64 & 63).view(np.uint64)
+        wi = p64 >> 6
+    # straddling lanes must be captured before the in-place shift below
+    # consumes the staged codewords
+    spill = np.flatnonzero((off + lengths) > 64)
+    sp_stage = stage[spill]
+    sp_off = off[spill]
+    np.right_shift(stage, off, out=stage, casting="unsafe")
+    _scatter_or_words(words, wi, stage)
+    if spill.size:
+        # two shifts keep every shift count <= 63: a codeword starting at
+        # off == 0 never spills, but the blanket expression must not hit
+        # the undefined uint64 << 64 either way
+        lo = (sp_stage << (sp_off.dtype.type(63) - sp_off)) << np.uint64(1)
+        _scatter_or_words(words, wi[spill] + 1, lo)
+    return words.astype(">u8").view(np.uint8)[:int(total_bytes)].copy()
 
 
 def pack_uint(values: np.ndarray, width: int) -> np.ndarray:

@@ -110,6 +110,53 @@ class LinearQuantizer:
         return QuantResult(codes=codes, reconstructed=recon,
                            outlier_values=outlier_values)
 
+    def quantize_into(self, values: np.ndarray, predictions: np.ndarray,
+                      eb: float, codes_out: np.ndarray, *,
+                      q_buf: np.ndarray, r_buf: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Buffered :meth:`quantize`: write codes straight into the stream.
+
+        ``values`` may be any-dimensional (a strided view of the original
+        field); ``predictions`` is its flat-order prediction vector.
+        Codes land in ``codes_out`` (a uint32 slice of the caller's full
+        code stream), the rounding runs inside the reusable float64
+        scratch ``q_buf``/``r_buf``, and no per-pass arrays are
+        allocated beyond the outlier compaction. Returns
+        ``(reconstructed, outlier_values)`` where ``reconstructed`` is a
+        ``values``-shaped view of ``r_buf`` valid until the next call.
+
+        Bit-identical to :meth:`quantize` lane for lane: the subtraction
+        promotes float32 inputs to float64 exactly, the fused
+        ``ebx2*q + p`` is the same IEEE sum as ``p + ebx2*q``, and the
+        in-place ``q + radius`` / zero-outlier / unsafe-cast sequence
+        produces the same uint32 code every reference lane gets.
+        """
+        if eb <= 0:
+            raise ConfigError(f"error bound must be positive, got {eb}")
+        shape = values.shape
+        n = values.size
+        q = q_buf[:n].reshape(shape)
+        r = r_buf[:n].reshape(shape)
+        p = np.asarray(predictions, dtype=np.float64).reshape(shape)
+        ebx2 = 2.0 * eb
+
+        np.subtract(values, p, out=q)     # exact: float32 in, float64 out
+        q /= ebx2
+        np.rint(q, out=q)
+        np.multiply(q, ebx2, out=r)
+        r += p                            # == p + ebx2*q bit for bit
+        bad = np.abs(q) >= self.radius
+        bad |= np.abs(np.subtract(r.astype(self.value_dtype), values,
+                                  dtype=np.float64)) > eb
+
+        outlier_values = values[bad].astype(self.value_dtype)
+        r[bad] = outlier_values.astype(np.float64)
+
+        q += self.radius
+        q[bad] = 0.0                      # reserved outlier code
+        np.copyto(codes_out.reshape(shape), q, casting="unsafe")
+        return r, outlier_values
+
     def dequantize(self, codes: np.ndarray, predictions: np.ndarray,
                    eb: float, outlier_values: np.ndarray,
                    outlier_cursor: int) -> tuple[np.ndarray, int]:

@@ -30,7 +30,8 @@ from repro.core.ginterp.splines import (CUBIC_NAK, CUBIC_NAT,
                                         SPLINE_WEIGHTS)
 
 __all__ = ["alpha_from_eb", "profile_cubic_errors", "autotune",
-           "TuneReport", "clear_autotune_cache", "autotune_cache_stats"]
+           "TuneReport", "clear_autotune_cache", "autotune_cache_stats",
+           "set_autotune_cache_limit"]
 
 #: sampled sub-grid extent per axis (paper: "e.g. a 4^3 sub-grid")
 PROFILE_SAMPLES = 4
@@ -62,6 +63,23 @@ def autotune_cache_stats() -> dict[str, int]:
                          for _rng, errors in _profile_cache.values())
         return {**_cache_stats, "size": len(_profile_cache),
                 "limit": _CACHE_SIZE, "size_bytes": size_bytes}
+
+
+def set_autotune_cache_limit(limit: int) -> int:
+    """Resize the profiling LRU (returns the previous limit).
+
+    Pool workers raise this to the pool-configured worker cache limit so
+    long-lived daemons stop thrashing on many-field batches."""
+    global _CACHE_SIZE
+    if limit < 1:
+        raise DataError(f"autotune cache limit must be >= 1, got {limit}")
+    with _cache_lock:
+        old = _CACHE_SIZE
+        _CACHE_SIZE = int(limit)
+        while len(_profile_cache) > _CACHE_SIZE:
+            _profile_cache.popitem(last=False)
+            _cache_stats["evictions"] += 1
+    return old
 
 
 caches.register("ginterp.autotune", autotune_cache_stats)

@@ -29,6 +29,7 @@ uncompiled reference traversal.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -292,7 +293,8 @@ def _check_finite(data: np.ndarray) -> None:
 
 def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
                     quantizer: LinearQuantizer | None = None, *,
-                    plan=None, compiled: bool = True) -> InterpResult:
+                    plan=None, compiled: bool = True,
+                    fused: bool | None = None) -> InterpResult:
     """Run the full interpolation-compression traversal.
 
     ``data`` is the (possibly padded) float field; returns quant-codes in
@@ -301,11 +303,18 @@ def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
 
     ``plan``/``compiled`` select the execution path (see
     :func:`_resolve_plan`); all paths produce bit-identical streams.
+    ``fused`` selects the fused predict–quantize emission on the compiled
+    path (codes written straight into the preallocated stream inside the
+    pass, no float residual intermediates); default on, overridable via
+    ``REPRO_FUSED_QUANTIZE=0``. Ignored on the uncompiled reference path.
     """
     spec = spec.resolved(data.ndim)
     _check_finite(data)
     quantizer = quantizer or LinearQuantizer()
     plan = _resolve_plan(data.shape, spec, plan, compiled)
+    if fused is None:
+        fused = os.environ.get("REPRO_FUSED_QUANTIZE", "1") != "0"
+    fused = fused and plan is not None
     work = data.astype(np.float64, copy=True)
     anchors = extract_anchors(work, spec.anchor_stride,
                               quantizer.value_dtype)
@@ -317,14 +326,35 @@ def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
     outlier_parts: list[np.ndarray] = []
     sizes: list[int] = []
     orig_flat = data.ravel()
+    cursor = 0
     if plan is not None:
         scr_pred, scr_mul, scr_ev = plan.workspace()
+    if fused:
+        codes_all = np.empty(plan.n_targets, dtype=np.uint32)
+        q_buf, r_buf = plan.quant_workspace()
     for step in (plan.passes if plan is not None
                  else pass_plan(data.ndim, spec)):
         p = step.desc if plan is not None else step
         # one span per level/axis pass, mirroring one GPU kernel launch
         with telemetry.span("ginterp.pass", level=p.level, axis=p.axis,
                             stride=p.stride) as psp:
+            if fused:
+                n = step.n_targets
+                sizes.append(int(n))
+                psp.set(targets=int(n), fused=True)
+                if n == 0:
+                    continue
+                # fused emission: predict, quantize, and reconstruct in
+                # one pass-local kernel; codes land in the preallocated
+                # stream slice, so the engine-level quantize stage is gone
+                with telemetry.span("ginterp.pq", level=p.level):
+                    outlier_parts.append(step.predict_quantize(
+                        work, work_flat, data, quantizer, ebs[p.level],
+                        codes_all[cursor:cursor + n], scr_pred, scr_mul,
+                        scr_ev, q_buf, r_buf))
+                cursor += n
+                telemetry.observe("ginterp.pass_targets", n)
+                continue
             with telemetry.span("ginterp.gather",
                                 compiled=plan is not None):
                 if plan is not None:
@@ -355,8 +385,14 @@ def interp_compress(data: np.ndarray, spec: InterpSpec, eb: float,
             outlier_parts.append(res.outlier_values)
             telemetry.observe("ginterp.pass_targets", n)
 
-    codes = (np.concatenate(codes_parts) if codes_parts
-             else np.empty(0, np.uint32))
+    if fused:
+        if cursor != codes_all.size:  # pragma: no cover - plan invariant
+            raise ConfigError("fused traversal did not fill the code "
+                              "stream")
+        codes = codes_all
+    else:
+        codes = (np.concatenate(codes_parts) if codes_parts
+                 else np.empty(0, np.uint32))
     outliers = (np.concatenate(outlier_parts) if outlier_parts
                 else np.empty(0, np.float32))
     return InterpResult(codes=codes, outliers=outliers, anchors=anchors,

@@ -195,6 +195,31 @@ class CompiledPass:
             pred[self.b_sel] = pb
         return pred
 
+    def predict_quantize(self, work: np.ndarray, work_flat: np.ndarray,
+                         data: np.ndarray, quantizer, eb: float,
+                         codes_out: np.ndarray,
+                         scr_pred: np.ndarray, scr_mul: np.ndarray,
+                         scr_ev: np.ndarray, q_buf: np.ndarray,
+                         r_buf: np.ndarray) -> np.ndarray:
+        """Fused predict → quantize → reconstruct for one pass.
+
+        Runs :meth:`predict` and immediately folds the quantization into
+        the same pass: int codes land directly in ``codes_out`` (the
+        pass's slice of the full stream), the reconstruction is scattered
+        back into ``work`` through the strided target view, and only the
+        compacted outlier values (returned) are newly allocated — no
+        float residual intermediates, no per-pass code arrays.
+        Bit-identical to predict-then-:meth:`LinearQuantizer.quantize`
+        because :meth:`~repro.common.quantizer.LinearQuantizer\
+.quantize_into` replays the same float64 lane arithmetic.
+        """
+        pred = self.predict(work, work_flat, scr_pred, scr_mul, scr_ev)
+        recon, outliers = quantizer.quantize_into(
+            data[self.target_view], pred, eb, codes_out,
+            q_buf=q_buf, r_buf=r_buf)
+        work[self.target_view] = recon
+        return outliers
+
 
 @dataclass(frozen=True)
 class PassPlan:
@@ -242,6 +267,13 @@ class PassPlan:
         return (np.empty(self.max_targets, dtype=np.float64),
                 np.empty(self.max_group, dtype=np.float64),
                 np.empty(self.max_staged, dtype=np.float64))
+
+    def quant_workspace(self) -> tuple[np.ndarray, np.ndarray]:
+        """Scratch pair for :meth:`CompiledPass.predict_quantize`:
+        the float64 rounding and reconstruction buffers, sized for the
+        widest pass so the fused traversal allocates nothing per pass."""
+        return (np.empty(self.max_targets, dtype=np.float64),
+                np.empty(self.max_targets, dtype=np.float64))
 
 
 _EMPTY_I64 = np.empty(0, dtype=np.int64)

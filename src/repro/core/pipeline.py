@@ -245,8 +245,9 @@ class CuSZi:
                    n_passes=len(result.pass_sizes))
         with telemetry.span("quantize") as sp, cap.stage("quantize"):
             # quantization proper is fused into the predict traversal
-            # (as on the GPU — see the ginterp.quantize child spans);
-            # this sibling accounts for its side channel, the
+            # (as on the GPU — see the per-pass ginterp.pq child spans,
+            # or ginterp.quantize when REPRO_FUSED_QUANTIZE=0); this
+            # sibling accounts for its side channel, the
             # stream-compacted outliers, and the anchor serialization
             outlier_seg = result.outliers.tobytes()
             anchor_seg = result.anchors.tobytes()
@@ -271,7 +272,7 @@ class CuSZi:
                                     self.huffman_chunk, lengths=lengths)
             huff_seg = stream.to_bytes()
             sp.set(segment="huffman", segment_nbytes=len(huff_seg),
-                   bytes_out=len(huff_seg))
+                   bytes_out=len(huff_seg), codebook=self.codebook)
         segments = {
             "huffman": huff_seg,
             "outliers": outlier_seg,

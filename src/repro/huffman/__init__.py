@@ -8,7 +8,8 @@ chunk of symbols and writes an independently decodable bitstream.
 
 The NumPy transcription keeps exactly that structure: chunks are encoded
 into byte-aligned payloads via one vectorized variable-length bit scatter
-(:func:`repro.common.bitpack.pack_varbits`), and decoded by stepping all
+(:func:`repro.common.bitpack.pack_varbits64` — a 64-bit word scatter-OR
+driven by a packed code/length pair gather), and decoded by stepping all
 chunks *simultaneously* — each batched advance probes a multi-symbol
 lookup table (:func:`repro.huffman.canonical.build_lut_tables`) that
 emits every complete codeword in the next ``LUT_PROBE_BITS`` bits —
@@ -16,13 +17,18 @@ which is the vectorized analogue of one-thread-block-per-chunk decoding.
 """
 
 from repro.huffman.histogram import histogram, topk_coverage
-from repro.huffman.tree import code_lengths
+from repro.huffman.tree import (code_lengths, fingerprint_code_lengths,
+                                histogram_fingerprint,
+                                clear_fingerprint_cache,
+                                fingerprint_cache_stats)
 from repro.huffman.canonical import (
     canonical_codebook,
     build_decode_table,
     build_lut_tables,
     warm_lengths,
     warm_tables,
+    prewarm_lut_async,
+    drain_lut_prewarm,
     MAX_CODE_LEN,
     LUT_PROBE_BITS,
 )
@@ -31,6 +37,7 @@ from repro.huffman.codec import (
     huffman_decode,
     HuffmanStream,
     DECODE_ENGINES,
+    ENCODE_ENGINES,
     DEFAULT_CHUNK,
 )
 from repro.huffman.static import (
@@ -44,6 +51,12 @@ __all__ = [
     "histogram",
     "topk_coverage",
     "code_lengths",
+    "fingerprint_code_lengths",
+    "histogram_fingerprint",
+    "clear_fingerprint_cache",
+    "fingerprint_cache_stats",
+    "prewarm_lut_async",
+    "drain_lut_prewarm",
     "canonical_codebook",
     "build_decode_table",
     "build_lut_tables",
@@ -55,6 +68,7 @@ __all__ = [
     "huffman_decode",
     "HuffmanStream",
     "DECODE_ENGINES",
+    "ENCODE_ENGINES",
     "DEFAULT_CHUNK",
     "static_lengths",
     "best_static_profile",

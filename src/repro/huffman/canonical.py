@@ -40,7 +40,8 @@ from repro.common.scan import concat_ranges
 __all__ = ["canonical_codebook", "build_decode_table", "build_lut_tables",
            "MAX_CODE_LEN", "LUT_PROBE_BITS",
            "clear_codebook_caches", "codebook_cache_stats",
-           "warm_lengths", "warm_tables"]
+           "warm_lengths", "warm_tables",
+           "prewarm_lut_async", "drain_lut_prewarm"]
 
 #: Single flat-table decode requires bounded code lengths; 16 bits keeps the
 #: table at 64 Ki entries while supporting the 1024-symbol quant alphabet.
@@ -329,6 +330,64 @@ def build_lut_tables(lengths: np.ndarray,
     entry = (count, cum, syms)
     _cache_put(_lut_cache, key, entry, "lut")
     return entry
+
+
+# -- encode-side LUT prewarm -------------------------------------------------
+#
+# A recurring codebook (the encode fingerprint cache hitting) predicts a
+# near-future decode of the same codebook; building its ~3 MiB probe LUT
+# *now*, off-thread, means that warm decode never pays the build wall.
+
+_prewarm_lock = threading.Lock()
+_prewarm_threads: dict[tuple, threading.Thread] = {}
+
+
+def prewarm_lut_async(lengths: np.ndarray) -> bool:
+    """Build the probe LUT for ``lengths`` on a daemon thread if it is
+    not already cached or in flight. Returns whether a build started.
+
+    The build is pure (read-only inputs, idempotent cache insert), so a
+    rare race with a foreground :func:`build_lut_tables` only costs one
+    redundant build, never a wrong table.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64).ravel()
+    try:
+        key = (_length_key(lengths), int(LUT_PROBE_BITS))
+    except CodecError:
+        return False
+    with _cache_lock:
+        if key in _lut_cache:
+            return False
+    with _prewarm_lock:
+        stale = _prewarm_threads.get(key)
+        if stale is not None and stale.is_alive():
+            return False
+
+        def _build():
+            try:
+                build_lut_tables(lengths)
+            except CodecError:  # pragma: no cover - key pre-validated
+                pass
+            finally:
+                with _prewarm_lock:
+                    _prewarm_threads.pop(key, None)
+
+        thread = threading.Thread(target=_build, daemon=True,
+                                  name="repro-lut-prewarm")
+        _prewarm_threads[key] = thread
+    thread.start()
+    telemetry.incr("huffman.lut_prewarm")
+    return True
+
+
+def drain_lut_prewarm() -> int:
+    """Join every in-flight prewarm build (tests and the bench need a
+    deterministic cold/warm boundary). Returns how many were joined."""
+    with _prewarm_lock:
+        threads = list(_prewarm_threads.values())
+    for t in threads:
+        t.join()
+    return len(threads)
 
 
 def warm_lengths(limit: int = 8) -> list[bytes]:

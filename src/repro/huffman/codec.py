@@ -5,11 +5,19 @@ fixed-size chunks (one per thread block on the GPU); every chunk's bitstream
 starts on a byte boundary, and per-chunk bit lengths are recorded so chunks
 are independently decodable.
 
-* **Encode** is two vectorized passes: per-symbol bit offsets come from an
-  exclusive prefix sum of gathered code lengths, then one
-  :func:`repro.common.bitpack.pack_varbits` call scatters every codeword
-  into the byte stream through three ``bitwise_or.reduceat`` planes — no
-  per-bit or per-symbol Python loop.
+* **Encode** is chunk-vectorized end to end. The default ``vector``
+  engine gathers one packed ``(code, length)`` 64-bit pair per symbol,
+  derives every codeword's absolute bit offset from an exclusive prefix
+  sum of the gathered lengths (rebased per chunk to the byte-aligned
+  chunk starts), and emits the whole stream through one
+  :func:`repro.common.bitpack.pack_varbits64` scatter-OR into 64-bit
+  output words — the exact mirror of the decode-side window gather. The
+  retained ``loop`` engine is the previous three-byte-plane
+  :func:`repro.common.bitpack.pack_varbits` emitter; both engines share
+  the chunk-layout math and are byte-identical by construction (asserted
+  in CI). Dynamic codebooks are resolved through
+  :func:`repro.huffman.tree.fingerprint_code_lengths`, so eb-retunes and
+  timestep streams skip the tree build and prewarm the decode LUT.
 * **Decode** steps all chunks simultaneously. The default ``lut`` engine
   gathers one 64-bit window per chunk per outer step and then chains
   multi-symbol LUT probes inside it: each probe reads the next ``K``
@@ -31,15 +39,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import telemetry
-from repro.common.bitpack import pack_varbits
+from repro.common.bitpack import pack_varbits, pack_varbits64
 from repro.common.errors import CodecError, CorruptStreamError
 from repro.huffman.canonical import (MAX_CODE_LEN, build_decode_table,
                                      build_lut_tables, canonical_codebook)
 from repro.huffman.histogram import histogram
-from repro.huffman.tree import code_lengths
+from repro.huffman.tree import fingerprint_code_lengths
 
 __all__ = ["huffman_encode", "huffman_decode", "HuffmanStream",
-           "DEFAULT_CHUNK", "DECODE_ENGINES"]
+           "DEFAULT_CHUNK", "DECODE_ENGINES", "ENCODE_ENGINES"]
 
 #: default symbols per chunk for new streams. 256 (was 2048) widens the
 #: chunk-parallel front the batched LUT decoder advances over by 8x —
@@ -53,6 +61,9 @@ _HDR = struct.Struct("<QIIII")  # n_symbols, alphabet, chunk_size, n_chunks, crc
 
 #: decode engines selectable per call or via ``REPRO_HUFFMAN_ENGINE``
 DECODE_ENGINES = ("lut", "loop")
+
+#: encode engines selectable per call or via ``REPRO_HUFFMAN_ENCODE_ENGINE``
+ENCODE_ENGINES = ("vector", "loop")
 
 
 @dataclass
@@ -99,17 +110,67 @@ class HuffmanStream:
                 + self.payload.size)
 
 
+# below this symbol count the whole bit-offset computation fits uint32
+# (total bits <= n * MAX_CODE_LEN), halving the memory traffic of the
+# layout and scatter index arrays on the encode hot path
+_NARROW_LAYOUT_SYMBOLS = ((1 << 32) - 64) // MAX_CODE_LEN
+
+
+def _chunk_layout(sym_len: np.ndarray, n: int, chunk_size: int):
+    """Per-chunk bit counts and byte-aligned per-symbol bit offsets.
+
+    Shared by both encode engines so their streams agree bit for bit:
+    chunk boundaries, padding, and every codeword's landing position are
+    decided here, and the engines differ only in how bits are emitted.
+    The offset arithmetic is exact in either dtype; uint32 is chosen
+    whenever the stream's total bit count cannot overflow it, and the
+    cumulative-sum buffer is reused in place for the exclusive scan and
+    the rebased positions so only two full-size arrays are ever live.
+    """
+    n_chunks = -(-n // chunk_size)
+    bounds = np.arange(0, n_chunks * chunk_size, chunk_size)
+    ends = np.minimum(bounds + chunk_size, n)
+    acc = np.uint32 if n <= _NARROW_LAYOUT_SYMBOLS else np.int64
+
+    cum = np.cumsum(sym_len, dtype=acc)        # inclusive bit scan
+    end_bits = cum[ends - 1].astype(np.int64)
+    np.subtract(cum, sym_len, out=cum, casting="unsafe")
+    chunk_first = cum[bounds].astype(np.int64)  # first symbol's offset
+    chunk_bits = (end_bits - chunk_first).astype(np.uint32)
+    chunk_bytes = -(-chunk_bits.astype(np.int64) // 8)
+    chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
+
+    # rebase global bit offsets to chunk-local byte-aligned positions:
+    # the adjustment (chunk_byte_off*8 - chunk_first) is constant within
+    # a chunk (and non-negative, since byte alignment only adds padding),
+    # so repeat each chunk's adjustment across its symbols
+    adj = (chunk_byte_off[:-1] * 8 - chunk_first).astype(acc)
+    np.add(cum, np.repeat(adj, ends - bounds), out=cum, casting="unsafe")
+    return chunk_bits, cum, int(chunk_byte_off[-1]), n_chunks
+
+
 def huffman_encode(codes: np.ndarray, alphabet_size: int,
                    chunk_size: int = DEFAULT_CHUNK,
-                   lengths: np.ndarray | None = None) -> HuffmanStream:
+                   lengths: np.ndarray | None = None,
+                   engine: str | None = None) -> HuffmanStream:
     """Encode a symbol stream into a chunked canonical Huffman stream.
 
     Passing prebuilt ``lengths`` (see :mod:`repro.huffman.static`) skips
     the histogram and tree build — the paper's §VI-A speed direction — at
     the cost of a slightly suboptimal code.
+
+    ``engine`` selects the emitter: ``"vector"`` (default; packed-pair
+    gather plus one word-level scatter-OR) or ``"loop"`` (the previous
+    byte-plane emitter, kept for cross-engine equivalence testing).
+    ``REPRO_HUFFMAN_ENCODE_ENGINE`` overrides the default. Both engines
+    produce byte-identical streams.
     """
     if chunk_size < 1:
         raise CodecError("chunk size must be >= 1")
+    if engine is None:
+        engine = os.environ.get("REPRO_HUFFMAN_ENCODE_ENGINE", "vector")
+    if engine not in ENCODE_ENGINES:
+        raise CodecError(f"unknown Huffman encode engine {engine!r}")
     codes = np.asarray(codes, dtype=np.uint32).ravel()
     n = codes.size
     with telemetry.span("huffman.codebook", n_symbols=n,
@@ -117,7 +178,10 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
                         static=lengths is not None):
         if lengths is None:
             freqs = histogram(codes, alphabet_size)
-            lengths = code_lengths(freqs, MAX_CODE_LEN)
+            prewarm = os.environ.get(
+                "REPRO_HUFFMAN_LUT_PREWARM", "1") != "0"
+            lengths = fingerprint_code_lengths(freqs, MAX_CODE_LEN,
+                                               prewarm_lut=prewarm)
         else:
             lengths = np.asarray(lengths, dtype=np.int64)
             if lengths.size != alphabet_size:
@@ -132,30 +196,29 @@ def huffman_encode(codes: np.ndarray, alphabet_size: int,
                              np.empty(0, np.uint32), np.empty(0, np.uint8),
                              crc32=0)
 
-    with telemetry.span("huffman.pack", n_symbols=n) as sp:
-        sym_len = lengths[codes]                   # int64 per-symbol lengths
-        n_chunks = -(-n // chunk_size)
-        bounds = np.arange(0, n_chunks * chunk_size, chunk_size)
-
-        cum = np.cumsum(sym_len)
-        start_global = cum - sym_len               # bit offset if unchunked
-        chunk_first = start_global[bounds]         # first symbol's offset
-        ends = np.minimum(bounds + chunk_size, n)
-        chunk_bits = (cum[ends - 1] - chunk_first).astype(np.uint32)
-        chunk_bytes = -(-chunk_bits.astype(np.int64) // 8)
-        chunk_byte_off = np.concatenate(([0], np.cumsum(chunk_bytes)))
-
-        # rebase global bit offsets to chunk-local byte-aligned positions
-        # without materializing per-symbol chunk ids: the adjustment
-        # (chunk_byte_off*8 - chunk_first) is constant within a chunk, so
-        # scatter each chunk's delta at its first symbol and prefix-sum
-        adj = chunk_byte_off[:-1] * 8 - chunk_first
-        delta = np.zeros(n, dtype=np.int64)
-        delta[bounds] = np.diff(adj, prepend=0)
-        pos = start_global + np.cumsum(delta)
-
-        total_bytes = int(chunk_byte_off[-1])
-        payload = pack_varbits(codebook[codes], sym_len, pos, total_bytes)
+    with telemetry.span("huffman.pack", n_symbols=n, engine=engine) as sp:
+        if engine == "vector":
+            # one packed pair per alphabet symbol: MSB-aligned codeword in
+            # the high bits, its length in the low byte. A single gather
+            # then yields both the staged bits and the per-symbol length,
+            # and the emitter never shifts codes again.
+            lu = lengths.astype(np.uint64)
+            sh = np.where(lu > 0, np.uint64(64) - lu, np.uint64(0))
+            pair64 = np.where(
+                lu > 0, (codebook.astype(np.uint64) << sh) | lu,
+                np.uint64(0))
+            g = pair64[codes]
+            sym_len = g.astype(np.uint8)   # truncation keeps the low byte
+            chunk_bits, pos, total_bytes, n_chunks = \
+                _chunk_layout(sym_len, n, chunk_size)
+            g &= np.uint64(0xFFFFFFFFFFFFFF00)  # strip lengths in place
+            payload = pack_varbits64(g, sym_len, pos, total_bytes)
+        else:
+            sym_len = lengths[codes]               # int64 per-symbol lengths
+            chunk_bits, pos, total_bytes, n_chunks = \
+                _chunk_layout(sym_len, n, chunk_size)
+            payload = pack_varbits(codebook[codes], sym_len, pos,
+                                   total_bytes)
         sp.set(bytes_out=int(payload.size), n_chunks=int(n_chunks))
     return HuffmanStream(n_symbols=n, alphabet_size=alphabet_size,
                          chunk_size=chunk_size,

@@ -6,6 +6,17 @@ concentrates nearly all codes into a tiny band around the zero bin. The
 counting result is identical either way; :func:`topk_coverage` measures how
 concentrated a code stream is, which both justifies the optimization and
 feeds the GPU performance model's histogram-kernel cost.
+
+The CPU transcription exploits the same concentration. Counting is a
+single ``bincount`` pass — range validation falls out of the count result
+(negatives raise inside ``bincount``, an oversized count vector means an
+over-range symbol), so the two extra ``min``/``max`` sweeps the old
+implementation paid per stream are gone. For alphabets much larger than
+the touched code band (:data:`SPARSE_ALPHABET` and up) a two-level
+coarse/refine pass takes over: a coarse bincount over
+:data:`COARSE_BUCKET`-wide buckets finds the touched range, and the
+refine bincount allocates counts only for that range instead of the full
+alphabet.
 """
 
 from __future__ import annotations
@@ -14,7 +25,27 @@ import numpy as np
 
 from repro.common.errors import CodecError
 
-__all__ = ["histogram", "topk_coverage"]
+__all__ = ["histogram", "topk_coverage", "SPARSE_ALPHABET",
+           "COARSE_BUCKET"]
+
+#: alphabets at least this large take the two-level coarse/refine path —
+#: below it a direct bincount's count vector is too small to matter
+SPARSE_ALPHABET = 1 << 16
+
+#: symbols per coarse bucket in the two-level path (a power of two so the
+#: coarse key is one shift)
+COARSE_BUCKET = 1 << 12
+
+_COARSE_SHIFT = COARSE_BUCKET.bit_length() - 1
+
+
+def _bincount_checked(codes: np.ndarray, minlength: int) -> np.ndarray:
+    """``np.bincount`` with the domain errors mapped to CodecError."""
+    try:
+        return np.bincount(codes, minlength=minlength)
+    except (ValueError, TypeError) as exc:
+        # negative symbols (or a non-integer dtype) surface here
+        raise CodecError("symbol outside alphabet") from exc
 
 
 def histogram(codes: np.ndarray, alphabet_size: int) -> np.ndarray:
@@ -28,9 +59,39 @@ def histogram(codes: np.ndarray, alphabet_size: int) -> np.ndarray:
     codes = np.asarray(codes).ravel()
     if codes.size == 0:
         return np.zeros(alphabet_size, dtype=np.int64)
-    if codes.min() < 0 or codes.max() >= alphabet_size:
+    if codes.dtype.kind not in "iu":
         raise CodecError("symbol outside alphabet")
-    return np.bincount(codes, minlength=alphabet_size).astype(np.int64)
+    if alphabet_size >= SPARSE_ALPHABET:
+        counts = _sparse_histogram(codes, alphabet_size)
+        if counts is not None:
+            return counts
+    counts = _bincount_checked(codes, alphabet_size)
+    if counts.size > alphabet_size:
+        raise CodecError("symbol outside alphabet")
+    return counts.astype(np.int64, copy=False)
+
+
+def _sparse_histogram(codes: np.ndarray,
+                      alphabet_size: int) -> np.ndarray | None:
+    """Two-level coarse/refine count for concentrated wide-alphabet
+    streams; ``None`` when the touched range is too wide to pay off."""
+    coarse = _bincount_checked(codes >> _COARSE_SHIFT, 0)
+    if coarse[-1] == 0:  # pragma: no cover - bincount trims trailing zeros
+        coarse = np.trim_zeros(coarse, "b")
+    lo_b = int(np.flatnonzero(coarse)[0])
+    hi_b = coarse.size - 1
+    if hi_b > (alphabet_size - 1) >> _COARSE_SHIFT:
+        raise CodecError("symbol outside alphabet")
+    span = (hi_b - lo_b + 1) << _COARSE_SHIFT
+    if span * 4 > alphabet_size:
+        return None            # dense stream: direct bincount is cheaper
+    base = lo_b << _COARSE_SHIFT
+    refined = _bincount_checked(codes.astype(np.int64) - base, span)
+    if base + refined.size > alphabet_size:
+        raise CodecError("symbol outside alphabet")
+    counts = np.zeros(alphabet_size, dtype=np.int64)
+    counts[base:base + refined.size] = refined
+    return counts
 
 
 def topk_coverage(counts: np.ndarray, center: int, k: int) -> float:

@@ -26,6 +26,12 @@ __all__ = ["static_lengths", "best_static_profile", "prewarm_static",
 #: prebuilt family: assumed std-dev (in bins) of the quant-code spread
 STATIC_SPREADS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0)
 
+#: memoized static length vectors, keyed (alphabet, center, spread) —
+#: the family is tiny and fully deterministic, and ``best_static_profile``
+#: otherwise rebuilds every member's tree per encoded stream
+_static_memo: dict[tuple[int, int, float], np.ndarray] = {}
+_STATIC_MEMO_LIMIT = 64
+
 
 def static_lengths(alphabet_size: int, center: int,
                    spread: float) -> np.ndarray:
@@ -35,11 +41,17 @@ def static_lengths(alphabet_size: int, center: int,
     any stream over the alphabet is encodable. The model frequencies decay
     exponentially with distance from the center at scale ``spread``;
     probabilities are floored so tail codes stay within MAX_CODE_LEN.
+    The result is memoized (read-only array) — the family is a pure
+    function of its three scalars.
     """
     if not 0 <= center < alphabet_size:
         raise CodecError("center outside alphabet")
     if spread <= 0:
         raise CodecError("spread must be positive")
+    key = (int(alphabet_size), int(center), float(spread))
+    hit = _static_memo.get(key)
+    if hit is not None:
+        return hit
     sym = np.arange(alphabet_size)
     dist = np.abs(sym - center).astype(np.float64)
     weights = np.exp(-dist / spread)
@@ -49,6 +61,9 @@ def static_lengths(alphabet_size: int, center: int,
     freqs = np.maximum((weights * 1e9).astype(np.int64), 1)
     lengths = code_lengths(freqs, MAX_CODE_LEN)
     assert (lengths > 0).all()
+    lengths.setflags(write=False)
+    if len(_static_memo) < _STATIC_MEMO_LIMIT:
+        _static_memo[key] = lengths
     return lengths
 
 

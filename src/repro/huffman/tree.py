@@ -7,18 +7,50 @@ lengths to :data:`repro.huffman.canonical.MAX_CODE_LEN` so the decoder can
 use a single flat lookup table — the standard trick of clamping and then
 restoring the Kraft inequality by lengthening the cheapest (least frequent)
 short codes.
+
+:func:`fingerprint_code_lengths` layers a **quantized-fingerprint cache**
+on top: the histogram is reduced to its support plus quarter-``log2``
+frequency magnitudes, and the tree is built from *representative*
+frequencies reconstructed from that fingerprint. Two histograms with the
+same fingerprint — an eb-retune of the same field, successive timesteps
+of a stream — then share one tree build. Because the lengths are a pure
+function of the fingerprint (never of raw counts or of cache history),
+every execution path emits byte-identical streams for byte-identical
+inputs, warm or cold, serial or pooled. ``REPRO_HUFFMAN_CODEBOOK_CACHE=0``
+bypasses the fingerprint entirely and builds the exact-optimal tree from
+the raw counts.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import threading
+from collections import OrderedDict
 from itertools import count
 
 import numpy as np
 
+from repro import telemetry
+from repro.telemetry import caches
 from repro.common.errors import CodecError
 
-__all__ = ["code_lengths"]
+__all__ = ["code_lengths", "fingerprint_code_lengths",
+           "histogram_fingerprint", "clear_fingerprint_cache",
+           "fingerprint_cache_stats"]
+
+#: quarter-log2 frequency resolution of the histogram fingerprint: counts
+#: within ~19% of each other collapse into the same bucket, which is far
+#: below what a length-limited Huffman code can distinguish
+_FP_LOG_SCALE = 4.0
+
+#: distinct fingerprints remembered; timestep streams reuse one entry,
+#: multi-field runs a handful
+_FP_CACHE_SIZE = 64
+
+_fp_lock = threading.Lock()
+_fp_cache: OrderedDict[bytes, np.ndarray] = OrderedDict()
+_fp_stats = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def _tree_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -105,3 +137,93 @@ def code_lengths(freqs: np.ndarray, max_len: int) -> np.ndarray:
             if not progressed:  # pragma: no cover - guarded by n_used check
                 raise CodecError("cannot satisfy Kraft inequality")
     return lengths
+
+
+# -- quantized-fingerprint codebook cache ------------------------------------
+
+def histogram_fingerprint(freqs: np.ndarray) -> tuple[bytes, np.ndarray]:
+    """Reduce a histogram to ``(key, representative frequencies)``.
+
+    The key is the nonzero support plus each count's quarter-``log2``
+    magnitude bucket; the representative counts are reconstructed **from
+    the buckets**, so any two histograms sharing a key also share the
+    exact representative vector — and therefore the exact tree. The
+    largest bucket is normalized to ``2**40`` so weight sums stay well
+    inside int64 for any alphabet a 16-bit code can hold.
+    """
+    freqs = np.asarray(freqs, dtype=np.int64).ravel()
+    nz = np.flatnonzero(freqs > 0)
+    if nz.size == 0:
+        return (freqs.size.to_bytes(8, "little"),
+                np.zeros(freqs.size, dtype=np.int64))
+    qlog = np.rint(np.log2(freqs[nz].astype(np.float64))
+                   * _FP_LOG_SCALE).astype(np.int64)
+    key = (freqs.size.to_bytes(8, "little")
+           + nz.astype(np.int64).tobytes() + qlog.tobytes())
+    rep = np.zeros(freqs.size, dtype=np.int64)
+    scaled = 2.0 ** ((qlog - qlog.max()) / _FP_LOG_SCALE + 40.0)
+    rep[nz] = np.maximum(np.rint(scaled).astype(np.int64), 1)
+    return key, rep
+
+
+def fingerprint_code_lengths(freqs: np.ndarray, max_len: int, *,
+                             prewarm_lut: bool = False) -> np.ndarray:
+    """:func:`code_lengths` behind the quantized-fingerprint LRU.
+
+    Misses build the tree from the fingerprint's representative counts
+    (not the raw ones) so a later hit on the same fingerprint returns the
+    identical length vector — stream bytes are a pure function of the
+    input histogram, independent of cache state.
+
+    ``prewarm_lut=True`` additionally kicks off an off-thread probe-LUT
+    build on a cache *hit*: a recurring codebook predicts a near-future
+    decode of the same stream family, so its decode surface is built
+    while the encode is still running instead of inside that decode.
+    """
+    if os.environ.get("REPRO_HUFFMAN_CODEBOOK_CACHE", "1") == "0":
+        return code_lengths(np.asarray(freqs, dtype=np.int64).ravel(),
+                            max_len)
+    key, rep = histogram_fingerprint(freqs)
+    key = max_len.to_bytes(2, "little") + key
+    with _fp_lock:
+        hit = _fp_cache.get(key)
+        if hit is not None:
+            _fp_cache.move_to_end(key)
+            _fp_stats["hits"] += 1
+    if hit is not None:
+        telemetry.incr("huffman.fingerprint_cache.hit")
+        if prewarm_lut:
+            from repro.huffman.canonical import prewarm_lut_async
+            prewarm_lut_async(hit)
+        return hit
+    telemetry.incr("huffman.fingerprint_cache.miss")
+    lengths = code_lengths(rep, max_len)
+    lengths.setflags(write=False)
+    with _fp_lock:
+        _fp_stats["misses"] += 1
+        _fp_cache[key] = lengths
+        _fp_cache.move_to_end(key)
+        while len(_fp_cache) > _FP_CACHE_SIZE:
+            _fp_cache.popitem(last=False)
+            _fp_stats["evictions"] += 1
+    return lengths
+
+
+def clear_fingerprint_cache() -> None:
+    """Drop the fingerprint LRU and reset its counters (tests)."""
+    with _fp_lock:
+        _fp_cache.clear()
+        for k in _fp_stats:
+            _fp_stats[k] = 0
+
+
+def fingerprint_cache_stats() -> dict[str, int]:
+    """Registry-shaped snapshot of the fingerprint cache counters."""
+    with _fp_lock:
+        return {**_fp_stats, "size": len(_fp_cache),
+                "limit": _FP_CACHE_SIZE,
+                "size_bytes": sum(len(k) + v.nbytes
+                                  for k, v in _fp_cache.items())}
+
+
+caches.register("huffman.fingerprint", fingerprint_cache_stats)

@@ -51,7 +51,7 @@ from repro.runtime.shm import Arena, ArenaError, available as shm_available
 
 __all__ = ["ShmPool", "BrokenWorkerPool", "WorkerTaskError",
            "DEFAULT_INPUT_BYTES", "DEFAULT_OUTPUT_BYTES",
-           "pool_cache_stats"]
+           "DEFAULT_WORKER_CACHE_LIMIT", "pool_cache_stats"]
 
 #: initial arena sizes; both grow geometrically on demand
 DEFAULT_INPUT_BYTES = 8 << 20
@@ -63,6 +63,22 @@ _INITIAL_DECODE_RATIO = 24.0
 
 #: seconds between result polls (each poll re-checks worker liveness)
 _POLL_S = 0.2
+
+#: per-worker entry floor applied to the worker-resident LRUs (compiled
+#: plans, autotune profiles); ``REPRO_WORKER_CACHE_LIMIT`` overrides.
+#: The old implicit limits (16 plans / 32 profiles) thrashed on
+#: many-field batches — the committed bench showed 19 evictions at a
+#: 43% hit ratio — while the entries themselves are small
+DEFAULT_WORKER_CACHE_LIMIT = 64
+
+
+def _worker_cache_limit() -> int:
+    raw = os.environ.get("REPRO_WORKER_CACHE_LIMIT", "")
+    try:
+        limit = int(raw)
+    except ValueError:
+        return DEFAULT_WORKER_CACHE_LIMIT
+    return max(1, limit)
 
 
 class BrokenWorkerPool(RuntimeError):
@@ -137,6 +153,31 @@ def _warm_from_ctrl(ctrl: dict) -> None:
         _warmed_codebooks.update(fresh)
 
 
+#: highest cache-limit hint already applied in this worker process
+_applied_cache_limit = 0
+
+
+def _apply_cache_limits(ctrl: dict) -> None:
+    """Raise this worker's LRU entry limits to the pool-configured floor.
+
+    Only ever raises (``max`` with the current limit) and only re-applies
+    when the hint grows, so the hot path pays one integer compare."""
+    global _applied_cache_limit
+    limit = int(ctrl.get("cache_limit") or 0)
+    if limit <= _applied_cache_limit:
+        return
+    # NB: the package re-exports a *function* named ``autotune`` that
+    # shadows the submodule attribute, so resolve the module explicitly
+    import importlib
+    autotune_mod = importlib.import_module("repro.core.ginterp.autotune")
+    from repro.core.ginterp import plans
+    plans.set_plan_cache_limit(
+        max(plans.plan_cache_stats()["limit"], limit))
+    autotune_mod.set_autotune_cache_limit(
+        max(autotune_mod.autotune_cache_stats()["limit"], limit))
+    _applied_cache_limit = limit
+
+
 def _run_task(kind: str, ctrl: dict, lock):
     from repro import telemetry
     from repro.telemetry import recorder
@@ -147,6 +188,7 @@ def _run_task(kind: str, ctrl: dict, lock):
     arena_out = _attach(ctrl["out_name"], active)
     trace = ctrl["trace"]
     base = recorder.worker_baseline() if recorder.enabled() else None
+    _apply_cache_limits(ctrl)
     _warm_from_ctrl(ctrl)
 
     def _execute():
@@ -276,6 +318,7 @@ class ShmPool:
         if not shm_available():
             raise ArenaError("shared-memory transport unavailable")
         self.workers = int(workers)
+        self.cache_limit = _worker_cache_limit()
         self._ctx = _preferred_context()
         self._lock = threading.Lock()
         self._task_q = self._ctx.Queue()
@@ -407,11 +450,17 @@ class ShmPool:
                                            int(aux["peak_rss_kb"]))
 
     def cache_stats(self) -> dict:
-        """Accumulated worker-resident cache counters (registry shape)."""
+        """Accumulated worker-resident cache counters (registry shape).
+
+        ``limit`` is the configured per-worker LRU entry floor
+        (:data:`DEFAULT_WORKER_CACHE_LIMIT` / ``REPRO_WORKER_CACHE_LIMIT``),
+        not the pool width — the old pool-width value made the registry
+        read as a 2-entry cache when the actual worker LRUs held dozens.
+        """
         alive = sum(1 for p in self._procs if p.is_alive()) \
             if not self._closed else 0
         return {**self._cache_totals, "size": alive,
-                "limit": self.workers,
+                "limit": self.cache_limit,
                 "size_bytes": self._worker_peak_rss_kb * 1024}
 
     def _common_ctrl(self, trace: bool, tctx) -> dict:
@@ -419,6 +468,9 @@ class ShmPool:
         return {"in_name": self._arena_in.name,
                 "out_name": self._arena_out.name,
                 "trace": trace, "tctx": tctx,
+                # the per-worker LRU entry floor; applied once per worker
+                # (and again only if it grows)
+                "cache_limit": self.cache_limit,
                 # warm codebook hints ride along on the existing control
                 # path (the aux channel's parent-bound mirror): workers
                 # prebuild decode tables/LUTs for the parent's hottest
@@ -592,8 +644,9 @@ def pool_cache_stats() -> dict:
     This is the ``runtime.workers`` provider in the telemetry cache
     registry: ``hits``/``misses``/``evictions`` accumulate the per-task
     deltas workers ship back on the aux channel, ``size`` is the live
-    worker count, ``limit`` the configured pool width, and
-    ``size_bytes`` the highest worker peak RSS observed.
+    worker count, ``limit`` the configured per-worker LRU entry floor
+    (summed over pools), and ``size_bytes`` the highest worker peak RSS
+    observed.
     """
     with _pools_lock:
         pools = list(_pools)

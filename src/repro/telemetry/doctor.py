@@ -186,6 +186,32 @@ def diagnose(records: list[RunRecord],
             "warm cache hit rate", True,
             "no repeated cache activity to judge", gating=False))
 
+    # worker-resident aggregates are exempt from the warm-ratio check
+    # above, but one structural signal still applies: when the summed
+    # eviction count overtakes the summed hit count, the per-worker LRUs
+    # are cycling entries faster than they serve them — the limit is too
+    # small for the workload (raise REPRO_WORKER_CACHE_LIMIT). Warn-only:
+    # correctness is unaffected, and short churn-heavy runs can trip it.
+    agg: dict[str, list[int]] = {}
+    for rec in records:
+        for name, delta in rec.caches.items():
+            if name not in _AGGREGATED_CACHES:
+                continue
+            tot = agg.setdefault(name, [0, 0])
+            tot[0] += delta.get("hits", 0)
+            tot[1] += delta.get("evictions", 0)
+    churning = {n: (h, e) for n, (h, e) in agg.items() if e > h}
+    if agg:
+        detail = ", ".join(f"{n} hits={h} evictions={e}"
+                           for n, (h, e) in sorted(agg.items()))
+        if churning:
+            detail += ("; evictions exceed hits: "
+                       + ", ".join(sorted(churning))
+                       + " — worker cache limit too small "
+                       "(REPRO_WORKER_CACHE_LIMIT)")
+        checks.append(Check("worker cache churn", not churning, detail,
+                            gating=False))
+
     # byte pressure: gauges pass through the diff from the *latest*
     # snapshot, so the last record that touched a cache carries its
     # current resident bytes. A budgeted cache (byte_limit > 0) sitting

@@ -7,10 +7,16 @@ and ``repro stats --check``. Each trajectory section — ``ginterp``
 encode), ``runtime`` (parallel slab wall time), ``transport``
 (schema 6: shm zero-copy pool wall times, gated on parallel
 decompress staying competitive with serial), ``huffman`` (schema 7:
-the batch-parallel LUT codec, gated on its decode wall time) — has
-one *gating* metric and a few informational ones; a gating metric
+the batch-parallel LUT codec, gated on its decode wall time; schema 8
+adds the vectorized encode wall as a second gate), ``walls`` (schema
+8: end-to-end pipeline compress/decompress walls on the 64-cubed and
+128-cubed bench fields, gated on the 64-cubed compress) — has
+gating metrics and a few informational ones; a gating metric
 past its section threshold yields a regressed :class:`Finding`,
-rendered as a GitHub ``::warning::`` annotation in CI.
+rendered as a GitHub ``::warning::`` annotation in CI. Sections a
+fresh emit skips (e.g. ``runtime`` on a single-CPU box, marked with
+``skipped_reason``) simply contribute no findings — their metrics are
+absent, and absent/non-numeric metrics are never compared.
 
 Thresholds default to 25% per section and, from trajectory **schema 5**
 on, are read from the document's own ``thresholds`` object — the
@@ -52,9 +58,13 @@ SECTIONS = {
                   "info": ("serial_decompress_s", "parallel_compress_s",
                            "serial_compress_s"),
                   "unit": "s"},
-    "huffman": {"gate": ("decode_s",),
-                "info": ("encode_s", "loop_decode_s", "lut_build_s"),
+    "huffman": {"gate": ("decode_s", "encode_s"),
+                "info": ("loop_decode_s", "loop_encode_s", "lut_build_s"),
                 "unit": "s"},
+    "walls": {"gate": ("compress64_s",),
+              "info": ("decompress64_s", "compress128_s",
+                       "decompress128_s"),
+              "unit": "s"},
 }
 
 
