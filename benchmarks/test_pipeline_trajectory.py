@@ -48,6 +48,14 @@ Sections that cannot run on the current host (the serial-vs-parallel
 emitted as ``{"skipped_reason": ...}`` instead of noise numbers; the
 sentinel skips sections whose gate metrics are absent.
 
+Schema 9 adds an ``analytics`` section: the run ledger this bench emits
+is replayed through a fresh :class:`repro.telemetry.analytics
+.AnalyticsEngine` — the per-run append-time scoring cost
+(``score_mean_us``, asserted under 1% of the warm 64^3 compress wall
+and gated by the sentinel), one full report build (``analyze_us``),
+and the cohort/baseline/anomaly counts the engine derived from the
+bench's own runs.
+
 Schema 6 adds a ``transport`` section: serial vs pooled wall times for
 both directions on a 128^3 field (big enough to clear the shm floors),
 the shm-vs-pickled byte accounting from
@@ -493,17 +501,50 @@ def test_emit_pipeline_trajectory():
     finally:
         quality.disable()
 
+    # schema 9: ledger analytics — replay every run this bench recorded
+    # through a fresh engine, timing the append-time scoring path and
+    # one full report build. The per-run scoring cost must stay under
+    # 1% of a warm 64^3 compress wall: the engine rides the recorder
+    # subscriber hook, so this is pure overhead on every traced run.
+    from repro.telemetry import analytics as analytics_mod
+    engine = analytics_mod.AnalyticsEngine()
+    for rec in recorder.records():
+        engine.observe(rec)
+    t0 = time.perf_counter()
+    report = engine.report()
+    analyze_s = time.perf_counter() - t0
+    over = engine.overhead()
+    score_share = (over["score_mean_us"] * 1e-6) / c64 if c64 else 0.0
+    assert score_share < 0.01, (
+        f"analytics scoring costs {over['score_mean_us']:.1f}us/run, "
+        f"{score_share:.2%} of a {c64 * 1e3:.1f}ms compress64 wall")
+    analytics = {
+        "n_records": report["n_records"],
+        "n_cohorts": report["n_cohorts"],
+        "baseline_metrics": sum(len(c["baselines"])
+                                for c in report["cohorts"].values()),
+        "anomalous_runs": report["verdict"]["anomalous_runs"],
+        "change_points": len(report["change_points"]),
+        "score_mean_us": round(over["score_mean_us"], 3),
+        "analyze_us": round(analyze_s * 1e6, 1),
+        "score_share_of_compress64": round(score_share, 6),
+    }
+
     doc = {
-        "schema": 8,
+        "schema": 9,
         "field": {"dataset": dataset, "name": field,
                   "shape": list(shape)},
         "eb": EB,
         "mode": "rel",
         # per-section regression tolerance, read by the sentinel from
         # the *committed* copy of this file (the baseline owns its gate)
+        # analytics gates on microsecond-scale scoring cost; 1.0 (100%)
+        # absorbs timer noise at that magnitude while still catching a
+        # scoring path that grows by integer factors
         "thresholds": {"ginterp": 0.25, "lossless": 0.25,
                        "runtime": 0.25, "transport": 0.25,
-                       "huffman": 0.25, "walls": 0.25},
+                       "huffman": 0.25, "walls": 0.25,
+                       "analytics": 1.0},
         "results": results,
         "runtime": runtime,
         "transport": transport,
@@ -511,6 +552,7 @@ def test_emit_pipeline_trajectory():
         "lossless": lossless,
         "huffman": huffman,
         "walls": walls,
+        "analytics": analytics,
         "caches": caches.snapshot(),
     }
     path = EMIT if EMIT.endswith(".json") else "BENCH_pipeline.json"

@@ -12,9 +12,15 @@ percentiles, compression-ratio distribution, throughput vs the modelled
 GPU, SLO error budgets) and ``repro doctor`` diagnoses ledger +
 environment + cache health — ``--check`` makes structural anomalies exit
 nonzero for CI, and ``--slo`` adds error-budget exhaustion to the gate.
+``repro analyze`` runs the ledger analytics engine
+(:mod:`repro.telemetry.analytics`): fingerprint-keyed cohort baselines,
+robust per-run anomaly scores, and change points with stage attribution
+(``--json``, ``--save-baseline``/``--baseline`` for persisted
+references, ``--check`` to gate). ``repro top`` is a live terminal
+dashboard over a growing ledger or an ops server's SSE stream.
 ``repro serve-ops`` boots the live ops plane
 (:mod:`repro.telemetry.opsd`): /metrics, /health, /ready, /runs (+SSE),
-/profile over HTTP. See ``docs/OBSERVABILITY.md``.
+/slo, /analytics, /profile over HTTP. See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -249,6 +255,16 @@ def _cmd_stats(args) -> int:
         print(f"error: cannot read ledger {args.ledger!r}: {exc}",
               file=sys.stderr)
         return 1
+    if not records:
+        # an empty ledger is a diagnosable state, not a crash: say so
+        # plainly (or emit an empty-but-valid JSON document) and exit 0
+        if args.json:
+            print(_json.dumps({"schema": 1, "ledger": args.ledger,
+                               "n_records": 0, "groups": {}, "slo": []},
+                              indent=2, sort_keys=True))
+        else:
+            print(f"ledger {args.ledger}: no run records")
+        return 0
     try:
         slos = _load_slos(args.slo)
     except (OSError, ValueError) as exc:
@@ -355,6 +371,61 @@ def _stats_sentinel(args, as_json: bool):
                          else vars(f) for f in findings]}
 
 
+def _cmd_analyze(args) -> int:
+    import json as _json
+    from repro.telemetry import analytics, recorder
+
+    try:
+        records = recorder.read_ledger(args.ledger)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read ledger {args.ledger!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    baseline_doc = None
+    if args.baseline:
+        try:
+            baseline_doc = analytics.load_baselines(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline {args.baseline!r}: "
+                  f"{exc}", file=sys.stderr)
+            return 1
+    report = analytics.analyze(records, baseline_doc=baseline_doc)
+    if args.save_baseline:
+        analytics.save_baselines(report, args.save_baseline)
+        if not args.json:
+            print(f"baselines for {report['n_cohorts']} cohort(s) "
+                  f"saved to {args.save_baseline}")
+    if args.json:
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        if not records:
+            print(f"ledger {args.ledger}: no run records")
+        else:
+            print(analytics.format_report(report))
+    if args.check:
+        regressed = not report["verdict"]["healthy"] or any(
+            f.get("regressed")
+            for f in report.get("baseline_comparison") or ())
+        if regressed:
+            if not args.json:
+                print("analyze: drift detected (exit 1)",
+                      file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.telemetry.top import run_top
+
+    if not args.ledger and not args.url:
+        print("error: repro top needs a ledger file or --url",
+              file=sys.stderr)
+        return 2
+    return run_top(ledger=args.ledger, url=args.url,
+                   interval=args.interval, frames=args.frames,
+                   once=args.once)
+
+
 def _cmd_doctor(args) -> int:
     from repro.telemetry import caches, doctor, recorder
 
@@ -430,7 +501,7 @@ def _cmd_serve_ops(args) -> int:
         return 1
     print(f"ops server on {server.url} "
           f"({len(base)} ledger record(s) loaded; endpoints: /metrics "
-          f"/health /ready /runs /runs/stream /slo /profile)",
+          f"/health /ready /runs /runs/stream /slo /analytics /profile)",
           flush=True)
     try:
         if args.for_seconds is not None:
@@ -577,6 +648,44 @@ def main(argv=None) -> int:
                    help="SLO objectives file for the error-budget "
                         "section ('default' or omitted = built-ins)")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("analyze",
+                       help="ledger analytics: cohort baselines, "
+                            "anomaly scores, drift change points with "
+                            "stage attribution")
+    p.add_argument("ledger", help="JSONL run ledger "
+                                  "(repro.telemetry.recorder ledger)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("--save-baseline", metavar="FILE", default=None,
+                   help="persist the cohort baselines for later "
+                        "--baseline comparison")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="compare cohort medians against a saved "
+                        "baseline file")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero on a latency regression, quality "
+                        "drift, or regressed baseline comparison")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("top",
+                       help="live terminal dashboard over a growing "
+                            "run ledger or an ops server stream")
+    p.add_argument("ledger", nargs="?", default=None,
+                   help="JSONL run ledger to follow (tail -f style, "
+                        "rotation-aware)")
+    p.add_argument("--url", default=None, metavar="URL",
+                   help="follow an ops server instead (its "
+                        "/runs/stream SSE endpoint)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh interval in seconds (default 1)")
+    p.add_argument("--frames", type=int, default=None, metavar="N",
+                   help="render N frames then exit (default: until "
+                        "interrupted)")
+    p.add_argument("--once", action="store_true",
+                   help="render a single frame and exit (no screen "
+                        "clearing; script/CI friendly)")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("doctor", help="diagnose ledger + environment + "
                                       "cache health")

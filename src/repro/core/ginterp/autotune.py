@@ -30,8 +30,8 @@ from repro.core.ginterp.splines import (CUBIC_NAK, CUBIC_NAT,
                                         SPLINE_WEIGHTS)
 
 __all__ = ["alpha_from_eb", "profile_cubic_errors", "autotune",
-           "TuneReport", "clear_autotune_cache", "autotune_cache_stats",
-           "set_autotune_cache_limit"]
+           "TuneReport", "field_fingerprint", "clear_autotune_cache",
+           "autotune_cache_stats", "set_autotune_cache_limit"]
 
 #: sampled sub-grid extent per axis (paper: "e.g. a 4^3 sub-grid")
 PROFILE_SAMPLES = 4
@@ -120,6 +120,26 @@ def _content_key(data: np.ndarray, samples: int) -> bytes:
     return h.digest()
 
 
+#: hex digits of the public fingerprint (64 bits of the SHA-1 digest):
+#: short enough to be a Prometheus label / cohort key, long enough that
+#: accidental collisions across a fleet of fields are negligible
+_FINGERPRINT_HEX_DIGITS = 16
+
+
+def field_fingerprint(data: np.ndarray,
+                      samples: int = PROFILE_SAMPLES) -> str:
+    """The sampled content fingerprint of a field, as a short hex id.
+
+    This is the same digest the autotune profiling cache keys on
+    (:func:`_content_key`), truncated to 64 bits of hex — stable across
+    runs and processes for identical content, and cheap (~64 KiB hashed
+    regardless of field size). The flight recorder stamps it into
+    ``attrs["fingerprint"]`` so ledger analytics can cohort runs by
+    field class (:mod:`repro.telemetry.analytics`).
+    """
+    return _content_key(data, samples).hex()[:_FINGERPRINT_HEX_DIGITS]
+
+
 def alpha_from_eb(rel_eb: float) -> float:
     """Eq. 1: piecewise-linear map from relative error bound to alpha."""
     e = float(rel_eb)
@@ -145,6 +165,7 @@ class TuneReport:
     axis_order: tuple[int, ...]      # least-smooth-first
     profiled_errors: tuple[float, ...]  # per-axis best-spline error sums
     value_range: float
+    fingerprint: str | None = None   # sampled content id (cohort key)
 
 
 def profile_cubic_errors(data: np.ndarray,
@@ -245,4 +266,5 @@ def autotune(data: np.ndarray, abs_eb: float,
                   np.argsort(-best, kind="stable"))
     return TuneReport(alpha=alpha, cubic_variant=variants, axis_order=order,
                       profiled_errors=tuple(float(b) for b in best),
-                      value_range=rng)
+                      value_range=rng,
+                      fingerprint=key.hex()[:_FINGERPRINT_HEX_DIGITS])

@@ -24,7 +24,8 @@ from repro.common.container import build_container, parse_container
 from repro.common.errors import CodecError, ConfigError
 from repro.common.lossless_wrap import unwrap_lossless, wrap_lossless
 from repro.common.quantizer import DEFAULT_RADIUS, LinearQuantizer
-from repro.core.ginterp.autotune import alpha_from_eb, autotune
+from repro.core.ginterp.autotune import (alpha_from_eb, autotune,
+                                         field_fingerprint)
 from repro.core.ginterp.engine import (InterpSpec, interp_compress,
                                        interp_decompress)
 from repro.core.ginterp.plans import get_plan
@@ -188,6 +189,7 @@ class CuSZi:
                 "cubic_variant": list(report.cubic_variant),
                 "axis_order": list(order),
                 "profiled_errors": list(report.profiled_errors),
+                "fingerprint": report.fingerprint,
             }
         else:
             cubic = ()
@@ -303,6 +305,15 @@ class CuSZi:
                 eb=self.eb, eb_mode=self.mode, abs_eb=abs_eb,
                 lossless=self.lossless, n_outliers=int(
                     result.outliers.size))
+        # the sampled content fingerprint keys the run's analytics
+        # cohort; with tuning on it falls out of the profiling pass for
+        # free, otherwise hash only when a record is actually being
+        # built (the disabled-recorder path must stay hash-free)
+        fp = tuning.get("fingerprint")
+        if fp is None and cap.run_id:
+            fp = field_fingerprint(padded)
+        if fp:
+            cap.set(fingerprint=fp)
         if quality.should_audit():
             # verify the archive actually decodes within the promised
             # bound; the internal decode runs ledger-suppressed so the

@@ -25,7 +25,12 @@ gate CI via ``repro doctor --check``:
 - **SLO budgets** (when objectives are supplied, e.g. ``repro doctor
   --slo objectives.json``) — an exhausted error budget
   (:mod:`repro.telemetry.slo`) is a gating anomaly; an elevated burn
-  rate on a budget that still has slack warns.
+  rate on a budget that still has slack warns;
+- **ledger analytics drift** (:mod:`repro.telemetry.analytics`) — a
+  sustained, stage-attributed latency regression or a sustained quality
+  drift detected over the run sequence gates; a ratio drift and
+  per-run anomaly flags warn. Cold-start warm-ups are improvements and
+  never trip these.
 """
 
 from __future__ import annotations
@@ -146,15 +151,67 @@ def _counter_total(records: list[RunRecord], name: str) -> float:
     return sum(rec.counters.get(name, 0) for rec in records)
 
 
+def _format_cp(cp: dict) -> str:
+    line = (f"{cp['cohort']} {cp['metric']} {cp['before']:.4g} -> "
+            f"{cp['after']:.4g} ({cp['rel']:+.0%}) since "
+            f"seq={cp['since_seq']}")
+    if cp.get("stage"):
+        line += (f" [stage '{cp['stage']}' explains "
+                 f"{cp.get('stage_share') or 0:.0%}]")
+    return line
+
+
+def _analytics_checks(records: list[RunRecord], checks: list) -> None:
+    """Ledger-analytics drift checks (:mod:`repro.telemetry.analytics`).
+
+    A sustained latency regression (with stage attribution when the
+    mover is identifiable) or a sustained quality drift is wrong
+    regardless of machine speed — the detector compares the ledger
+    against itself, so unlike the wall-time sentinel these can gate.
+    Ratio drifts and per-run anomaly flags warn only.
+    """
+    from repro.telemetry import analytics as analytics_mod
+
+    report = analytics_mod.analyze(records)
+    cps = report["change_points"]
+    lat = [cp for cp in cps if cp["kind"] == "latency_regression"]
+    qual = [cp for cp in cps if cp["kind"] == "quality_drift"]
+    ratio = [cp for cp in cps if cp["kind"] == "ratio_drift"]
+    checks.append(Check(
+        "analytics latency drift", not lat,
+        "; ".join(_format_cp(cp) for cp in lat) if lat
+        else "no sustained latency regression",
+        gating=bool(lat)))
+    checks.append(Check(
+        "analytics quality drift", not qual,
+        "; ".join(_format_cp(cp) for cp in qual) if qual
+        else "no sustained quality drift",
+        gating=bool(qual)))
+    checks.append(Check(
+        "analytics ratio drift", not ratio,
+        "; ".join(_format_cp(cp) for cp in ratio) if ratio
+        else "no sustained ratio drift", gating=False))
+    anomalous = report["verdict"]["anomalous_runs"]
+    checks.append(Check(
+        "analytics run anomalies", anomalous == 0,
+        f"{anomalous}/{report['n_records']} run(s) scored anomalous "
+        f"vs cohort baselines" if anomalous
+        else f"{report['n_records']} run(s) scored, none anomalous",
+        gating=False))
+
+
 def diagnose(records: list[RunRecord],
              warm_hit_threshold: float = WARM_HIT_THRESHOLD,
-             slos=None) -> Diagnosis:
+             slos=None, analytics: bool = True) -> Diagnosis:
     """Run every structural health check over a list of run records.
 
     ``slos`` optionally adds one check per
     :class:`repro.telemetry.slo.SLOSpec`: FAIL when its error budget is
     exhausted, WARN (non-gating) when the budget holds but the recent
-    burn rate exceeds 1x.
+    burn rate exceeds 1x. ``analytics`` (default on) adds the
+    ledger-analytics drift checks — sustained latency regressions
+    (stage-attributed) and quality drifts gate, ratio drifts and
+    per-run anomaly counts warn.
     """
     diag = Diagnosis(n_records=len(records))
     checks = diag.checks
@@ -288,6 +345,9 @@ def diagnose(records: list[RunRecord],
             "worker memory merge", peak > 0,
             f"{len(workers)} pooled run(s), worker peak RSS "
             f"{peak / 1024:.1f} MiB", gating=False))
+
+    if analytics and records:
+        _analytics_checks(records, checks)
 
     if slos:
         from repro.telemetry import slo as slomod

@@ -34,6 +34,13 @@ server (``repro serve-ops`` on the command line, or
     stacks — "why is the worker slow *right now*" without restarting
     anything.
 
+``/analytics``
+    The ledger-analytics report (:mod:`repro.telemetry.analytics`)
+    computed over the live records: fingerprint-keyed cohort baselines,
+    per-run anomaly flags, and change points with stage attribution.
+    ``/metrics`` additionally exposes the ``repro_anomaly_*`` /
+    ``repro_drift_*`` series from the same report.
+
 The server runs its own event loop on a daemon thread, so embedding it
 costs the host program nothing on the hot path: records reach SSE
 clients through :func:`repro.telemetry.recorder.subscribe` (a dict
@@ -53,7 +60,7 @@ import time
 from urllib.parse import parse_qs, urlsplit
 
 from repro import telemetry
-from repro.telemetry import doctor, exporters, recorder
+from repro.telemetry import analytics, doctor, exporters, recorder
 from repro.telemetry import slo as slomod
 
 __all__ = ["OpsServer", "start_ops_server", "DEFAULT_PORT",
@@ -295,11 +302,15 @@ class OpsServer:
                 writer, 200, {"slos": [st.to_dict() for st in statuses]})
         elif path == "/profile":
             await self._serve_profile(writer, query)
+        elif path == "/analytics":
+            await self._respond_json(writer, 200,
+                                     analytics.analyze(self._records()))
         elif path == "/":
             await self._respond_json(writer, 200, {
                 "service": "repro.telemetry.opsd",
                 "endpoints": ["/metrics", "/health", "/ready", "/runs",
-                              "/runs/stream", "/slo", "/profile"]})
+                              "/runs/stream", "/slo", "/analytics",
+                              "/profile"]})
         else:
             await self._respond(writer, 404, "text/plain",
                                 f"no route {path}\n")
@@ -323,8 +334,10 @@ class OpsServer:
     def _metrics_text(self) -> str:
         lines = [exporters.to_prometheus(
             telemetry.get_registry()).rstrip("\n")]
-        statuses = slomod.evaluate(self._records(), self._slos)
+        records = self._records()
+        statuses = slomod.evaluate(records, self._slos)
         lines.extend(slomod.metrics_lines(statuses))
+        lines.extend(analytics.metrics_lines(analytics.analyze(records)))
         lines.append("# HELP repro_ops_requests_total ops-plane HTTP "
                      "requests served")
         lines.append("# TYPE repro_ops_requests_total counter")

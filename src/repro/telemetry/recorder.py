@@ -52,7 +52,8 @@ __all__ = ["RunRecord", "RunCapture", "capture", "current", "annotate",
            "rotate_ledger", "worker_baseline", "worker_aux", "aggregate",
            "model_deviation", "subscribe", "unsubscribe",
            "mint_id", "propagation_context", "trace_scope",
-           "current_trace_id", "DEFAULT_CAPACITY", "DEFAULT_LEDGER_KEEP"]
+           "current_trace_id", "DEFAULT_CAPACITY", "DEFAULT_LEDGER_KEEP",
+           "LEDGER_SCHEMA"]
 
 #: run records kept in the ring before the oldest is dropped
 DEFAULT_CAPACITY = 1024
@@ -60,7 +61,12 @@ DEFAULT_CAPACITY = 1024
 #: rotated ledger segments kept next to the live file (``path.1``..``.N``)
 DEFAULT_LEDGER_KEEP = 4
 
-_LEDGER_VERSION = 2
+#: ledger line format version, stamped as ``"schema"`` on every line.
+#: History: 1 = original ring dump, 2 = trace lineage fields (written as
+#: the legacy ``"v"`` key), 3 = explicit ``schema`` stamp + the sampled
+#: field fingerprint in ``attrs``. Readers accept unversioned /
+#: ``"v"``-keyed lines (pre-schema-3 ledgers) and reject future majors.
+LEDGER_SCHEMA = 3
 
 #: worker-aux cache counters folded into the parent record
 _WORKER_CACHE_KEYS = ("hits", "misses", "evictions")
@@ -124,8 +130,15 @@ class RunRecord:
     def throughput_mb_s(self) -> float:
         return self.raw_bytes / self.wall_s / 1e6 if self.wall_s else 0.0
 
+    @property
+    def fingerprint(self) -> str | None:
+        """The sampled field-content fingerprint, when the run carried
+        one (``None`` tolerantly for pre-schema-3 ledger lines)."""
+        fp = self.attrs.get("fingerprint")
+        return str(fp) if fp else None
+
     def to_dict(self) -> dict:
-        out = {"v": _LEDGER_VERSION, "seq": self.seq, "kind": self.kind,
+        out = {"schema": LEDGER_SCHEMA, "seq": self.seq, "kind": self.kind,
                "ts": self.ts, "wall_s": self.wall_s,
                "status": self.status, "codec": self.codec,
                "stages": self.stages, "attrs": self.attrs,
@@ -611,8 +624,35 @@ def to_jsonl(recs: list[RunRecord] | None = None) -> str:
                    for r in recs)
 
 
+def _check_schema(obj: dict, lineno: int) -> None:
+    """Reject ledger lines this build cannot faithfully parse.
+
+    Unversioned lines (and the legacy ``"v"`` stamp) predate the
+    explicit ``schema`` key and are accepted as-is — old ledgers keep
+    reading. A ``schema`` *newer* than :data:`LEDGER_SCHEMA` means the
+    line was written by a future build whose fields this reader would
+    silently drop, so it is rejected with a clear error instead.
+    """
+    ver = obj.get("schema", obj.get("v"))
+    if ver is None:
+        return
+    if not isinstance(ver, (int, float)) or isinstance(ver, bool):
+        raise ValueError(
+            f"ledger line {lineno}: schema version {ver!r} is not "
+            f"a number")
+    if int(ver) > LEDGER_SCHEMA:
+        raise ValueError(
+            f"ledger line {lineno}: schema {int(ver)} is newer than "
+            f"this build reads (<= {LEDGER_SCHEMA}); upgrade repro to "
+            f"analyze this ledger")
+
+
 def from_jsonl(text: str) -> list[RunRecord]:
-    """Parse ledger text back into records (bad lines are rejected)."""
+    """Parse ledger text back into records (bad lines are rejected).
+
+    Accepts unversioned (pre-schema-3) lines; rejects lines stamped
+    with a future schema major (see :func:`_check_schema`).
+    """
     out = []
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip()
@@ -624,6 +664,7 @@ def from_jsonl(text: str) -> list[RunRecord]:
             raise ValueError(f"ledger line {lineno} is not JSON: {exc}")
         if not isinstance(obj, dict):
             raise ValueError(f"ledger line {lineno}: expected an object")
+        _check_schema(obj, lineno)
         out.append(RunRecord.from_dict(obj))
     return out
 
@@ -703,6 +744,11 @@ def read_ledger(path: str,
 def _percentiles(values: list[float]) -> dict[str, float]:
     vals = sorted(values)
     n = len(vals)
+    if n == 0:
+        # an empty group (e.g. a ledger with no timed runs) aggregates
+        # to defined zeros instead of crashing the whole stats pass
+        return {"n": 0, "min": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0, "mean": 0.0}
 
     def pct(q: float) -> float:
         if n == 1:

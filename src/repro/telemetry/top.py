@@ -1,0 +1,263 @@
+"""``repro top``: a live terminal dashboard over the run ledger.
+
+``repro stats`` is a post-mortem; this is the *while it runs* view. The
+dashboard subscribes to a record source exactly like the ops plane's SSE
+path — each new :class:`~repro.telemetry.recorder.RunRecord` is folded
+into a rolling window and an embedded
+:class:`~repro.telemetry.analytics.AnalyticsEngine` — and redraws a
+plain-ANSI frame every interval: per-group rolling p50/p95/p99 walls,
+compression ratio, throughput, cache hit rates, the engine's active
+anomalies, and any detected change points with their stage attribution.
+
+Record sources:
+
+* a **ledger file** being appended to by another process
+  (:class:`LedgerFollower`: ``tail -f`` semantics, partial-line safe,
+  rotation-aware), or
+* an **ops server** (``--url http://host:9178``): the ``/runs/stream``
+  SSE endpoint, one event per run.
+
+Rendering is deliberately dumb-terminal ANSI (home + clear, no curses
+dependency): :meth:`TopDashboard.render` returns the frame as a plain
+string, so tests (and ``--once``) can exercise the full pipeline without
+a tty.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import deque
+
+from repro.telemetry import analytics, recorder
+from repro.telemetry.recorder import RunRecord
+
+__all__ = ["TopDashboard", "LedgerFollower", "SSEFollower", "run_top",
+           "DEFAULT_WINDOW_RECORDS"]
+
+#: rolling records the dashboard aggregates over
+DEFAULT_WINDOW_RECORDS = 512
+
+#: ANSI: cursor home + clear to end of screen (less flicker than 2J)
+_CLEAR = "\x1b[H\x1b[J"
+
+
+class TopDashboard:
+    """Rolling aggregation + analytics behind one rendered frame."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW_RECORDS):
+        self._window: deque[RunRecord] = deque(maxlen=window)
+        self._engine = analytics.AnalyticsEngine()
+        self._total = 0
+
+    @property
+    def engine(self) -> analytics.AnalyticsEngine:
+        return self._engine
+
+    def add(self, rec: RunRecord) -> None:
+        self._window.append(rec)
+        self._engine.observe(rec)
+        self._total += 1
+
+    def add_all(self, recs) -> int:
+        n = 0
+        for rec in recs:
+            self.add(rec)
+            n += 1
+        return n
+
+    def render(self, width: int = 80) -> str:
+        """One frame as a plain string (no control sequences)."""
+        recs = list(self._window)
+        anomalies = self._engine.anomalies()
+        change_points = self._engine.change_points()
+        overhead = self._engine.overhead()
+        clock = time.strftime("%H:%M:%S")
+        head = (f"repro top — {clock}  runs {self._total} "
+                f"(window {len(recs)})  anomalies {len(anomalies)}  "
+                f"change points {len(change_points)}  "
+                f"score {overhead['score_mean_us']:.0f}us/run")
+        lines = [head[:width], "-" * min(width, len(head))]
+        groups = recorder.aggregate(recs)
+        if not groups:
+            lines.append("(no run records yet)")
+        else:
+            lines.append(f"{'group':<21} {'n':>4} {'p50':>9} {'p95':>9} "
+                         f"{'p99':>9} {'CR':>7} {'MB/s':>8} {'cache':>6}")
+            for label, entry in groups.items():
+                wall = entry["wall_s"]
+                ratio = entry.get("ratio", {}).get("p50")
+                thr = entry.get("throughput_mb_s", {}).get("p50")
+                hit = entry.get("cache_hit_ratio")
+                lines.append(
+                    f"{label[:21]:<21} {entry['n']:>4} "
+                    f"{wall['p50'] * 1e3:>7.2f}ms "
+                    f"{wall['p95'] * 1e3:>7.2f}ms "
+                    f"{wall['p99'] * 1e3:>7.2f}ms "
+                    + (f"{ratio:>7.2f} " if ratio is not None
+                       else f"{'-':>7} ")
+                    + (f"{thr:>8.1f} " if thr is not None
+                       else f"{'-':>8} ")
+                    + (f"{hit:>6.0%}" if hit is not None else f"{'-':>6}"))
+                stages = entry.get("stages", {})
+                if stages:
+                    total = sum(s["p50"] for s in stages.values()) or 1.0
+                    shares = "  ".join(
+                        f"{name} {s['p50'] / total:.0%}"
+                        for name, s in sorted(
+                            stages.items(),
+                            key=lambda kv: -kv[1]["p50"])[:5])
+                    lines.append(f"    stages(p50): {shares}"[:width])
+        if anomalies:
+            lines.append("")
+            lines.append(f"active anomalies ({len(anomalies)}):")
+            for a in anomalies[-8:]:
+                lines.append(("  " + a.format())[:width])
+        if change_points:
+            lines.append("")
+            lines.append(f"change points ({len(change_points)}):")
+            for cp in change_points:
+                lines.append(("  " + cp.format())[:width])
+        return "\n".join(line[:width] for line in lines) + "\n"
+
+
+class LedgerFollower:
+    """``tail -f`` over a JSONL ledger, partial-line and rotation safe.
+
+    Each :meth:`poll` returns records appended since the previous poll.
+    A file that shrank (rotated away and restarted) is re-read from the
+    start; a missing file yields nothing until it appears; a partial
+    last line (a writer mid-append) stays buffered until its newline
+    arrives.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._offset = 0
+        self._buffer = ""
+
+    def poll(self) -> list[RunRecord]:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self._offset:       # rotation: start over
+            self._offset = 0
+            self._buffer = ""
+        if size == self._offset:
+            return []
+        with open(self.path) as f:
+            f.seek(self._offset)
+            chunk = f.read()
+            self._offset = f.tell()
+        text = self._buffer + chunk
+        complete, sep, rest = text.rpartition("\n")
+        self._buffer = rest
+        if not sep:
+            return []
+        out = []
+        for line in complete.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.extend(recorder.from_jsonl(line))
+            except ValueError:
+                continue              # torn or foreign line: skip, keep going
+        return out
+
+
+class SSEFollower:
+    """Minimal client for the ops server's ``/runs/stream`` endpoint."""
+
+    def __init__(self, url: str, replay: int = 50, timeout: float = 5.0):
+        base = url.rstrip("/")
+        if not base.endswith("/runs/stream"):
+            base = f"{base}/runs/stream"
+        self.url = f"{base}?replay={int(replay)}"
+        self._timeout = timeout
+        self._resp = None
+        self._banner_pending = False
+
+    def _connect(self):
+        import urllib.request
+        self._resp = urllib.request.urlopen(self.url,
+                                            timeout=self._timeout)
+        # the server opens every stream with one comment banner; only
+        # *later* comments are keep-alives marking a frame boundary
+        self._banner_pending = True
+
+    def poll(self) -> list[RunRecord]:
+        """Records received before the next keep-alive / read timeout."""
+        if self._resp is None:
+            try:
+                self._connect()
+            except OSError:
+                return []
+        out: list[RunRecord] = []
+        try:
+            while True:
+                line = self._resp.readline()
+                if not line:          # server went away; reconnect later
+                    self._resp = None
+                    break
+                text = line.decode("utf-8", "replace").strip()
+                if text.startswith(":"):
+                    if self._banner_pending:    # the connect banner
+                        self._banner_pending = False
+                        continue
+                    break   # keep-alive: a safe point to hand back a frame
+                if text.startswith("data:"):
+                    try:
+                        obj = json.loads(text[5:].strip())
+                        out.append(RunRecord.from_dict(obj))
+                    except (ValueError, TypeError):
+                        continue
+        except OSError:               # read timeout: frame boundary
+            pass
+        return out
+
+    def close(self) -> None:
+        if self._resp is not None:
+            try:
+                self._resp.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+            self._resp = None
+
+
+def run_top(ledger: str | None = None, url: str | None = None,
+            interval: float = 1.0, frames: int | None = None,
+            once: bool = False, out=None) -> int:
+    """Drive the dashboard loop (the ``repro top`` entry point).
+
+    ``once`` renders a single frame with no screen control (CI/script
+    friendly); otherwise each frame home-and-clears the terminal until
+    ``frames`` are drawn or the user interrupts.
+    """
+    out = sys.stdout if out is None else out
+    dash = TopDashboard()
+    source = SSEFollower(url) if url else LedgerFollower(ledger)
+    try:
+        dash.add_all(source.poll())
+        if once:
+            out.write(dash.render())
+            out.flush()
+            return 0
+        drawn = 0
+        while frames is None or drawn < frames:
+            out.write(_CLEAR + dash.render())
+            out.flush()
+            drawn += 1
+            if frames is not None and drawn >= frames:
+                break
+            time.sleep(max(interval, 0.05))
+            dash.add_all(source.poll())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if url:
+            source.close()
+    return 0

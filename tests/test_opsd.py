@@ -361,3 +361,64 @@ class TestServeOpsCLI:
         assert main(["serve-ops", "--port", "0",
                      "--slo", str(bad)]) == 1
         assert "cannot load SLOs" in capsys.readouterr().err
+
+
+class TestAnalyticsEndpoint:
+    def test_analytics_report_shape(self, server):
+        for _ in range(3):
+            _run_once()
+        status, doc = _get_json(server, "/analytics")
+        assert status == 200
+        assert doc["n_records"] == 3
+        assert doc["n_cohorts"] == 1
+        assert doc["verdict"]["healthy"]
+        (entry,) = doc["cohorts"].values()
+        assert entry["key"]["kind"] == "compress"
+        assert "ratio" in entry["baselines"]
+
+    def test_analytics_empty_ledger(self, server):
+        status, doc = _get_json(server, "/analytics")
+        assert status == 200
+        assert doc["n_records"] == 0
+        assert doc["change_points"] == []
+
+    def test_index_lists_analytics(self, server):
+        _, doc = _get_json(server, "/")
+        assert "/analytics" in doc["endpoints"]
+
+    def test_metrics_include_drift_series(self, server):
+        _run_once()
+        _, body = _get(server, "/metrics")
+        assert "repro_drift_change_points" in body
+        assert "repro_anomaly_runs_total" in body
+
+    def test_analytics_under_concurrent_appends(self, server):
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            while not stop.is_set():
+                _run_once()
+                time.sleep(0.001)
+
+        def scraper():
+            try:
+                for _ in range(25):
+                    status, doc = _get_json(server, "/analytics")
+                    assert status == 200
+                    assert doc["schema"] == 1
+                    assert doc["n_records"] >= 0
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        wt = threading.Thread(target=writer)
+        scrapers = [threading.Thread(target=scraper) for _ in range(3)]
+        wt.start()
+        for t in scrapers:
+            t.start()
+        for t in scrapers:
+            t.join(30)
+        stop.set()
+        wt.join(10)
+        assert not errors
+        assert not any(t.is_alive() for t in scrapers)

@@ -1,0 +1,172 @@
+"""Tests for the ``repro top`` live dashboard
+(:mod:`repro.telemetry.top`): frame rendering, ledger tailing
+(partial lines, rotation), and the CLI entry point."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import recorder, top
+from repro.telemetry.recorder import RunRecord
+from repro.telemetry.top import LedgerFollower, TopDashboard
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    recorder.clear()
+    recorder.enable()
+    yield
+    recorder.clear()
+    recorder.enable()
+
+
+def _rec(seq, wall=7e-3, **attrs):
+    a = {"fingerprint": "f0", "abs_eb": 1e-3,
+         "bytes_in": 1_000_000, "bytes_out": 50_000}
+    a.update(attrs)
+    return RunRecord(seq=seq, kind="compress", ts=float(seq),
+                     wall_s=wall, codec="cuszi",
+                     stages={"predict": wall * 0.6,
+                             "huffman": wall * 0.3,
+                             "lossless": wall * 0.1},
+                     attrs=a, caches={"c": {"hits": 3, "misses": 1}},
+                     trace_id=f"t{seq:04d}")
+
+
+class TestRender:
+    def test_empty_dashboard_renders(self):
+        frame = TopDashboard().render()
+        assert "repro top" in frame
+        assert "(no run records yet)" in frame
+
+    def test_frame_has_group_table_and_stages(self):
+        dash = TopDashboard()
+        for i in range(12):
+            dash.add(_rec(i + 1))
+        frame = dash.render()
+        assert "runs 12 (window 12)" in frame
+        assert "compress[cuszi]" in frame
+        assert "p50" in frame and "CR" in frame
+        assert "stages(p50):" in frame and "predict" in frame
+        assert "cache" in frame
+
+    def test_frame_shows_change_points_and_anomalies(self):
+        dash = TopDashboard()
+        for i in range(40):
+            dash.add(_rec(i + 1, wall=7e-3 if i < 20 else 14e-3))
+        frame = dash.render()
+        assert "change points (" in frame
+        assert "latency_regression" in frame
+        assert "active anomalies (" in frame
+
+    def test_window_bounds_aggregation(self):
+        dash = TopDashboard(window=8)
+        for i in range(20):
+            dash.add(_rec(i + 1))
+        assert "runs 20 (window 8)" in dash.render()
+
+    def test_render_respects_width(self):
+        dash = TopDashboard()
+        for i in range(4):
+            dash.add(_rec(i + 1))
+        for line in dash.render(width=40).splitlines():
+            assert len(line) <= 40
+
+
+class TestLedgerFollower:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        lf = LedgerFollower(str(tmp_path / "nope.jsonl"))
+        assert lf.poll() == []
+
+    def test_incremental_tail(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        recorder.write_ledger(str(path), [_rec(1)])
+        lf = LedgerFollower(str(path))
+        assert [r.seq for r in lf.poll()] == [1]
+        assert lf.poll() == []
+        with open(path, "a") as f:
+            f.write(recorder.to_jsonl([_rec(2), _rec(3)]))
+        assert [r.seq for r in lf.poll()] == [2, 3]
+
+    def test_partial_line_stays_buffered(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        line = recorder.to_jsonl([_rec(7)])
+        with open(path, "w") as f:
+            f.write(line[: len(line) // 2])
+        lf = LedgerFollower(str(path))
+        assert lf.poll() == []       # torn write: nothing emitted yet
+        with open(path, "a") as f:
+            f.write(line[len(line) // 2:])
+        assert [r.seq for r in lf.poll()] == [7]
+
+    def test_rotation_restarts_from_zero(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        recorder.write_ledger(str(path), [_rec(i + 1) for i in range(5)])
+        lf = LedgerFollower(str(path))
+        assert len(lf.poll()) == 5
+        recorder.write_ledger(str(path), [_rec(9)])   # rotated: smaller
+        assert [r.seq for r in lf.poll()] == [9]
+
+    def test_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        with open(path, "w") as f:
+            f.write("not json at all\n")
+            f.write(json.dumps({"schema": 99, "seq": 1,
+                                "kind": "compress", "ts": 0.0,
+                                "wall_s": 0.0}) + "\n")
+            f.write(recorder.to_jsonl([_rec(4)]))
+        lf = LedgerFollower(str(path))
+        assert [r.seq for r in lf.poll()] == [4]
+
+
+class TestSSEFollower:
+    def test_banner_swallowed_replay_delivered(self):
+        # the server opens /runs/stream with a comment banner; the
+        # follower must not mistake it for a keep-alive frame boundary
+        from repro.telemetry import opsd
+        from repro.telemetry.top import SSEFollower
+        srv = opsd.start_ops_server(port=0)
+        try:
+            with recorder.capture("compress", codec="cuszi") as cap:
+                cap.set(bytes_in=100, bytes_out=25)
+            follower = SSEFollower(srv.url, replay=10, timeout=1.0)
+            recs = follower.poll()
+            follower.close()
+        finally:
+            srv.stop()
+        assert [r.kind for r in recs] == ["compress"]
+        assert recs[0].ratio == 4.0
+
+
+class TestRunTop:
+    def test_once_renders_ledger(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        recorder.write_ledger(str(path), [_rec(i + 1) for i in range(6)])
+        out = io.StringIO()
+        assert top.run_top(ledger=str(path), once=True, out=out) == 0
+        frame = out.getvalue()
+        assert "repro top" in frame and "compress[cuszi]" in frame
+        assert "\x1b[" not in frame       # --once: no screen control
+
+    def test_frames_loop_clears_screen(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        recorder.write_ledger(str(path), [_rec(1)])
+        out = io.StringIO()
+        assert top.run_top(ledger=str(path), interval=0.01, frames=2,
+                           out=out) == 0
+        assert out.getvalue().count("\x1b[H\x1b[J") == 2
+
+
+class TestTopCLI:
+    def test_requires_a_source(self, capsys):
+        assert main(["top"]) == 2
+        assert "needs a ledger file or --url" in capsys.readouterr().err
+
+    def test_once_via_cli(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        recorder.write_ledger(str(path), [_rec(1), _rec(2)])
+        assert main(["top", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out and "runs 2" in out
